@@ -1,0 +1,212 @@
+//! Ground-truth scoring harness (figure 9).
+//!
+//! Scores any geolocation method against generator ground truth over
+//! the hostnames that — per the operator — contain geohints, with the
+//! paper's 40 km correctness radius.
+
+use hoiho_geodb::GeoDb;
+use hoiho_geotypes::LocationId;
+use hoiho_itdk::{Corpus, Router};
+use hoiho_psl::PublicSuffixList;
+use std::collections::HashMap;
+
+/// The correctness radius (km) the paper adopts from DRoP.
+pub const CORRECT_RADIUS_KM: f64 = 40.0;
+
+/// Per-method tallies over one suffix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MethodScore {
+    /// Answers within 40 km of the router's true location.
+    pub tp: usize,
+    /// Answers beyond 40 km.
+    pub fp: usize,
+    /// Hostnames with geohints the method returned nothing for.
+    pub fn_: usize,
+}
+
+impl MethodScore {
+    /// Total hostnames scored.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_
+    }
+
+    /// TP percentage of all geohint hostnames.
+    pub fn tp_pct(&self) -> f64 {
+        pct(self.tp, self.total())
+    }
+
+    /// FP percentage of all geohint hostnames.
+    pub fn fp_pct(&self) -> f64 {
+        pct(self.fp, self.total())
+    }
+
+    /// FN percentage of all geohint hostnames.
+    pub fn fn_pct(&self) -> f64 {
+        pct(self.fn_, self.total())
+    }
+
+    /// Positive predictive value over returned answers.
+    pub fn ppv(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Merge another score in.
+    pub fn merge(&mut self, other: &MethodScore) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// Score one method over every hostname the generator marked as
+/// carrying a geohint. The method sees the hostname and the router
+/// (for methods that use live measurements); it answers with a
+/// dictionary location or declines.
+pub fn score_method<F>(
+    db: &GeoDb,
+    psl: &PublicSuffixList,
+    corpus: &Corpus,
+    mut method: F,
+) -> HashMap<String, MethodScore>
+where
+    F: FnMut(&str, &Router) -> Option<LocationId>,
+{
+    let mut out: HashMap<String, MethodScore> = HashMap::new();
+    for (_, router) in corpus.iter() {
+        let truth_coords = db.location(router.location).coords;
+        for iface in &router.interfaces {
+            let (Some(h), Some(t)) = (&iface.hostname, &iface.truth) else {
+                continue;
+            };
+            if t.hint.is_none() {
+                continue; // no geohint: outside figure 9's scope
+            }
+            let Some(suffix) = psl.registerable_suffix(h) else {
+                continue;
+            };
+            let score = out.entry(suffix).or_default();
+            match method(h, router) {
+                Some(loc) => {
+                    let d = db.location(loc).coords.distance_km(&truth_coords);
+                    if d <= CORRECT_RADIUS_KM {
+                        score.tp += 1;
+                    } else {
+                        score.fp += 1;
+                    }
+                }
+                None => score.fn_ += 1,
+            }
+        }
+    }
+    out
+}
+
+/// Unweighted mean TP percentage across suffixes — the "average of
+/// 94.0%" style numbers in §6.1.
+pub fn mean_tp_pct(scores: &HashMap<String, MethodScore>) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.values().map(|s| s.tp_pct()).sum::<f64>() / scores.len() as f64
+}
+
+/// Aggregate PPV across all suffixes (answers pooled).
+pub fn overall_ppv(scores: &HashMap<String, MethodScore>) -> f64 {
+    let mut all = MethodScore::default();
+    for s in scores.values() {
+        all.merge(s);
+    }
+    all.ppv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho_itdk::spec::CorpusSpec;
+
+    #[test]
+    fn perfect_oracle_scores_100() {
+        let db = GeoDb::builtin();
+        let psl = PublicSuffixList::builtin();
+        let spec = CorpusSpec {
+            label: "harness-test".into(),
+            seed: 41,
+            operators: 4,
+            routers: 150,
+            geo_operator_fraction: 1.0,
+            sloppy_operator_fraction: 0.0,
+            hostname_rate: 0.9,
+            rtt_response_rate: 0.9,
+            vps: 10,
+            custom_hint_operator_fraction: 0.0,
+            custom_hint_rate: 0.0,
+            stale_fraction: 0.0,
+            provider_side_fraction: 0.0,
+            ipv6: false,
+        };
+        let g = hoiho_itdk::generate(&db, &spec);
+        let scores = score_method(&db, &psl, &g.corpus, |_h, r| Some(r.location));
+        assert!(!scores.is_empty());
+        for (suffix, s) in &scores {
+            assert_eq!(s.fp, 0, "{suffix}");
+            assert_eq!(s.fn_, 0, "{suffix}");
+            assert!(s.tp > 0, "{suffix}");
+            assert!((s.tp_pct() - 100.0).abs() < 1e-9);
+        }
+        assert!((mean_tp_pct(&scores) - 100.0).abs() < 1e-9);
+        assert!((overall_ppv(&scores) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silent_method_is_all_fn() {
+        let db = GeoDb::builtin();
+        let psl = PublicSuffixList::builtin();
+        let spec = CorpusSpec {
+            label: "harness-test2".into(),
+            seed: 42,
+            operators: 3,
+            routers: 100,
+            geo_operator_fraction: 1.0,
+            sloppy_operator_fraction: 0.0,
+            hostname_rate: 0.9,
+            rtt_response_rate: 0.9,
+            vps: 10,
+            custom_hint_operator_fraction: 0.0,
+            custom_hint_rate: 0.0,
+            stale_fraction: 0.0,
+            provider_side_fraction: 0.0,
+            ipv6: false,
+        };
+        let g = hoiho_itdk::generate(&db, &spec);
+        let scores = score_method(&db, &psl, &g.corpus, |_h, _r| None);
+        for s in scores.values() {
+            assert_eq!(s.tp, 0);
+            assert_eq!(s.fp, 0);
+            assert!(s.fn_ > 0);
+            assert_eq!(s.fn_pct(), 100.0);
+        }
+    }
+
+    #[test]
+    fn score_percentages_sum_to_100() {
+        let s = MethodScore {
+            tp: 50,
+            fp: 25,
+            fn_: 25,
+        };
+        assert!((s.tp_pct() + s.fp_pct() + s.fn_pct() - 100.0).abs() < 1e-9);
+        assert!((s.ppv() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Criterion benches for the from-scratch regex engine on learned-NC
+//! workloads, including the differential comparison with the mainstream
+//! `regex` crate and the possessive-vs-greedy ablation DESIGN.md calls
+//! out.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hoiho_regex::Regex as Hoiho;
+use std::hint::black_box;
+
+const PATTERNS: &[&str] = &[
+    r"^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$",
+    r"^.+\.([a-z]+)\d*\.level3\.net$",
+    r"^.+\.([a-z]{6})\d+\.([a-z]{2})\.[a-z]{2}\.gin\.ntt\.net$",
+    r"^[^\.]+\.(\d+[a-z]+)\.([a-z]{2})\.[a-z]+\.comcast\.net$",
+];
+
+const SUBJECTS: &[&str] = &[
+    "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com",
+    "ae-2-52.edge4.brussels1.level3.net",
+    "xe-0-0-28-0.a02.snjsca04.us.ce.gin.ntt.net",
+    "be-232.1118thave.ny.ibone.comcast.net",
+    "static-10-0-0-1.customer.example.org",
+    "cr1.lhr15.gtt.net",
+    "0.af0.rcmdva83-mse01-a-ie1.alter.net",
+];
+
+fn bench_match(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match");
+    let ours: Vec<Hoiho> = PATTERNS.iter().map(|p| Hoiho::parse(p).unwrap()).collect();
+    let std: Vec<regex::Regex> = PATTERNS
+        .iter()
+        .map(|p| regex::Regex::new(p).unwrap())
+        .collect();
+
+    g.bench_function("hoiho_regex", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for re in &ours {
+                for s in SUBJECTS {
+                    if re.is_match(black_box(s)) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("regex_crate", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for re in &std {
+                for s in SUBJECTS {
+                    if re.is_match(black_box(s)) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_captures(c: &mut Criterion) {
+    let re = Hoiho::parse(PATTERNS[0]).unwrap();
+    let std = regex::Regex::new(PATTERNS[0]).unwrap();
+    let subject = SUBJECTS[0];
+    let mut g = c.benchmark_group("captures");
+    g.bench_function("hoiho_regex", |b| {
+        b.iter(|| re.captures(black_box(subject)).unwrap().map(|c| c.len()))
+    });
+    g.bench_function("regex_crate", |b| {
+        b.iter(|| std.captures(black_box(subject)).map(|c| c.len()))
+    });
+    g.finish();
+}
+
+fn bench_possessive(c: &mut Criterion) {
+    // Ablation: a possessive quantifier avoids backtracking on
+    // non-matching subjects.
+    let greedy = Hoiho::parse(r"^[^-]+-[^-]+-[^-]+-[a-z]+\d$").unwrap();
+    let possessive = Hoiho::parse(r"^[^-]++-[^-]++-[^-]++-[a-z]+\d$").unwrap();
+    let miss = "aaaa-bbbb-cccc-dddd"; // no trailing digit: forces search
+    let mut g = c.benchmark_group("possessive_ablation");
+    g.bench_function("greedy", |b| b.iter(|| greedy.is_match(black_box(miss))));
+    g.bench_function("possessive", |b| {
+        b.iter(|| possessive.is_match(black_box(miss)))
+    });
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_pattern", |b| {
+        b.iter_batched(
+            || PATTERNS[2],
+            |p| Hoiho::parse(black_box(p)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_match,
+    bench_captures,
+    bench_possessive,
+    bench_parse
+);
+criterion_main!(benches);

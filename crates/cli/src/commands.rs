@@ -1,0 +1,190 @@
+//! Subcommand implementations.
+
+use crate::args::Options;
+use crate::{read_stdin_lines, write_file};
+use hoiho::artifact::{parse_artifacts, write_artifacts};
+use hoiho::stale::detect_stale;
+use hoiho::{Geolocator, Hoiho, HoihoOptions};
+use hoiho_geodb::synth::expand_with_towns;
+use hoiho_geodb::{GeoDb, GeoDbBuilder};
+use hoiho_itdk::format::{parse_corpus, write_corpus};
+use hoiho_itdk::spec::CorpusSpec;
+use hoiho_itdk::stats::CorpusStats;
+use hoiho_psl::PublicSuffixList;
+use hoiho_rtt::ConsistencyPolicy;
+use std::io::Write as _;
+
+/// The dictionary, optionally extended with synthetic towns.
+fn dictionary(opts: &Options) -> Result<GeoDb, String> {
+    let towns = opts.num("towns", 0)? as usize;
+    if towns == 0 {
+        Ok(GeoDb::builtin())
+    } else {
+        let base = GeoDb::builtin();
+        Ok(expand_with_towns(GeoDbBuilder::with_builtin_data(), &base, towns, 0xD1C7).build())
+    }
+}
+
+fn load_corpus(opts: &Options, db_len: usize) -> Result<hoiho_itdk::Corpus, String> {
+    let path = opts.require("corpus")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let corpus = parse_corpus(&text).map_err(|e| e.to_string())?;
+    // Sanity: the corpus references dictionary ids; a corpus generated
+    // against a larger dictionary cannot be interpreted by a smaller one.
+    for r in &corpus.routers {
+        if r.location.0 as usize >= db_len {
+            return Err(format!(
+                "corpus references location {} but the dictionary has {} entries; \
+                 regenerate with the same --towns value",
+                r.location.0, db_len
+            ));
+        }
+    }
+    Ok(corpus)
+}
+
+/// `hoiho generate`
+pub fn generate(opts: &Options) -> Result<(), String> {
+    let db = dictionary(opts)?;
+    let routers = opts.num("routers", 2000)? as usize;
+    let seed = opts.num("seed", 1)?;
+    let ipv6 = opts.has("--ipv6");
+    let mut spec = if ipv6 {
+        CorpusSpec::ipv6_nov2020(routers)
+    } else {
+        CorpusSpec::ipv4_aug2020(routers)
+    };
+    spec.seed = seed;
+    if let Some(ops) = opts.get("operators") {
+        spec.operators = ops
+            .parse()
+            .map_err(|_| "--operators must be a number".to_string())?;
+    }
+    let g = hoiho_itdk::generate(&db, &spec);
+    let out = opts.require("out")?;
+    write_file(out, &write_corpus(&g.corpus))?;
+    eprintln!(
+        "wrote {} routers ({} with hostnames), {} VPs to {out}",
+        g.corpus.len(),
+        g.corpus.routers.iter().filter(|r| r.has_hostname()).count(),
+        g.corpus.vps.len()
+    );
+    Ok(())
+}
+
+/// `hoiho learn`
+pub fn learn(opts: &Options) -> Result<(), String> {
+    let db = dictionary(opts)?;
+    let psl = PublicSuffixList::builtin();
+    let corpus = load_corpus(opts, db.len())?;
+    let hoiho = Hoiho::with_options(
+        &db,
+        &psl,
+        HoihoOptions {
+            learn_custom_hints: !opts.has("--no-learned-hints"),
+            ..Default::default()
+        },
+    );
+    let report = hoiho.learn_corpus(&corpus);
+    let geo = Geolocator::from_report(&report);
+    let out = opts.require("out")?;
+    write_file(out, &write_artifacts(&geo, &db))?;
+    let (good, promising, poor) = report.class_counts();
+    eprintln!(
+        "learned {} usable conventions (good {good}, promising {promising}, poor {poor}); \
+         {} learned hints; wrote {out}",
+        geo.len(),
+        report
+            .results
+            .iter()
+            .map(|r| r.learned.len())
+            .sum::<usize>(),
+    );
+    Ok(())
+}
+
+/// `hoiho apply`
+pub fn apply(opts: &Options) -> Result<(), String> {
+    let db = dictionary(opts)?;
+    let psl = PublicSuffixList::builtin();
+    let path = opts.require("artifacts")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let geo = parse_artifacts(&text, &db).map_err(|e| e.to_string())?;
+    let hostnames = if opts.positional.is_empty() {
+        read_stdin_lines()
+    } else {
+        opts.positional.clone()
+    };
+    // Tolerate a closed pipe (`hoiho apply … | head`).
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for h in &hostnames {
+        let line = match geo.geolocate(&db, &psl, h) {
+            Some(inf) => {
+                let l = db.location(inf.location);
+                format!(
+                    "{h}\t{}\t{:.4},{:.4}\t{}\t{}{}",
+                    l.display_name(),
+                    l.coords.lat(),
+                    l.coords.lon(),
+                    inf.ty,
+                    inf.hint,
+                    if inf.learned_hint { " (learned)" } else { "" }
+                )
+            }
+            None => format!("{h}\t-"),
+        };
+        if writeln!(out, "{line}").is_err() {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// `hoiho stats`
+pub fn stats(opts: &Options) -> Result<(), String> {
+    let db = dictionary(opts)?;
+    let corpus = load_corpus(opts, db.len())?;
+    let s = CorpusStats::of(&corpus);
+    println!("label:         {}", s.label);
+    println!("routers:       {}", s.routers);
+    println!(
+        "with hostname: {} ({:.1}%)",
+        s.with_hostname,
+        s.hostname_pct()
+    );
+    println!("with RTT:      {} ({:.1}%)", s.with_rtt, s.rtt_pct());
+    println!("vantage pts:   {}", s.vps);
+    Ok(())
+}
+
+/// `hoiho stale`
+pub fn stale(opts: &Options) -> Result<(), String> {
+    let db = dictionary(opts)?;
+    let psl = PublicSuffixList::builtin();
+    let corpus = load_corpus(opts, db.len())?;
+    let path = opts.require("artifacts")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let geo = parse_artifacts(&text, &db).map_err(|e| e.to_string())?;
+    let findings = detect_stale(&db, &psl, &geo, &corpus, &ConsistencyPolicy::STRICT);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for f in &findings {
+        let hinted = db.location(f.hinted).display_name();
+        let consensus = f
+            .consensus
+            .map(|c| db.location(c).display_name())
+            .unwrap_or_else(|| "-".to_string());
+        if writeln!(
+            out,
+            "{}\thints {}\tsiblings say {}",
+            f.hostname, hinted, consensus
+        )
+        .is_err()
+        {
+            return Ok(());
+        }
+    }
+    eprintln!("{} suspicious hostnames", findings.len());
+    Ok(())
+}

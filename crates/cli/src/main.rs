@@ -1,0 +1,92 @@
+//! `hoiho` — the command-line interface.
+//!
+//! ```text
+//! hoiho generate --routers 5000 --seed 7 --out corpus.txt [--ipv6]
+//! hoiho learn    --corpus corpus.txt --out artifacts.txt [--no-learned-hints]
+//! hoiho apply    --artifacts artifacts.txt HOSTNAME…   (or hostnames on stdin)
+//! hoiho stats    --corpus corpus.txt
+//! hoiho stale    --corpus corpus.txt --artifacts artifacts.txt
+//! ```
+//!
+//! All subcommands use the built-in reference dictionary; pass
+//! `--towns N` to extend it with a deterministic synthetic tail.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&opts),
+        "learn" => commands::learn(&opts),
+        "apply" => commands::apply(&opts),
+        "stats" => commands::stats(&opts),
+        "stale" => commands::stale(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "hoiho — learn geolocation naming conventions from router hostnames
+
+USAGE:
+  hoiho generate --routers N [--operators N] [--seed S] [--ipv6] [--towns N] --out FILE
+  hoiho learn    --corpus FILE [--no-learned-hints] [--towns N] --out FILE
+  hoiho apply    --artifacts FILE [--towns N] [HOSTNAME…]      (stdin if none given)
+  hoiho stats    --corpus FILE
+  hoiho stale    --corpus FILE --artifacts FILE [--towns N]
+
+FLAGS:
+  --routers N           corpus size for `generate` (default 2000)
+  --operators N         operator count (default routers/120)
+  --seed S              generator seed (default 1)
+  --ipv6                IPv6-style corpus (fewer hostnames and RTTs)
+  --towns N             extend the dictionary with N synthetic towns
+  --no-learned-hints    disable stage 4 (the paper's ablation)
+  --corpus FILE         corpus in the native corpus-v1 format
+  --artifacts FILE      learned regexes + hints (hoiho-artifacts-v1)
+  --out FILE            output path"
+}
+
+/// Read hostnames from stdin, one per line.
+pub fn read_stdin_lines() -> Vec<String> {
+    std::io::stdin()
+        .lock()
+        .lines()
+        .map_while(Result::ok)
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+/// Write a file, mapping errors to strings.
+pub fn write_file(path: &str, content: &str) -> Result<(), String> {
+    let mut f = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    f.write_all(content.as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))
+}

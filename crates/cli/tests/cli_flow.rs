@@ -1,0 +1,110 @@
+//! End-to-end CLI flow: generate → stats → learn → apply → stale,
+//! driving the installed binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // Cargo builds integration-test binaries next to the crate's bins.
+    let mut p = std::env::current_exe().expect("test exe");
+    p.pop(); // deps/
+    p.pop(); // debug/ or release/
+    p.push(format!("hoiho{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("hoiho-cli-test-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn full_flow() {
+    let corpus = tmp("corpus.txt");
+    let artifacts = tmp("artifacts.txt");
+
+    // generate
+    let out = Command::new(bin())
+        .args(["generate", "--routers", "2500", "--seed", "5", "--out", &corpus])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&corpus).expect("corpus written");
+    assert!(text.starts_with("corpus-v1"));
+
+    // stats
+    let out = Command::new(bin())
+        .args(["stats", "--corpus", &corpus])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("routers:"), "{stdout}");
+
+    // learn
+    let out = Command::new(bin())
+        .args(["learn", "--corpus", &corpus, "--out", &artifacts])
+        .output()
+        .expect("run learn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let art = std::fs::read_to_string(&artifacts).expect("artifacts written");
+    assert!(art.starts_with("hoiho-artifacts-v1"));
+    assert!(art.contains("suffix "), "no conventions learned:\n{art}");
+
+    // apply to a hostname taken from the corpus itself.
+    let some_host = text
+        .lines()
+        .find_map(|l| {
+            let mut f = l.split_whitespace();
+            (f.next() == Some("iface")).then(|| f.nth(1).map(str::to_string))?
+        })
+        .expect("corpus has hostnames");
+    let out = Command::new(bin())
+        .args(["apply", "--artifacts", &artifacts, &some_host])
+        .output()
+        .expect("run apply");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with(&some_host), "{stdout}");
+
+    // stale
+    let out = Command::new(bin())
+        .args(["stale", "--corpus", &corpus, "--artifacts", &artifacts])
+        .output()
+        .expect("run stale");
+    assert!(out.status.success());
+
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_file(&artifacts).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // No subcommand.
+    let out = Command::new(bin()).output().expect("run");
+    assert!(!out.status.success());
+
+    // Unknown subcommand.
+    let out = Command::new(bin()).arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    // Missing required flag.
+    let out = Command::new(bin()).args(["learn"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus"));
+
+    // Nonexistent file.
+    let out = Command::new(bin())
+        .args(["stats", "--corpus", "/nonexistent/nope.txt"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+
+    // Help succeeds.
+    let out = Command::new(bin()).arg("help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,369 @@
+//! Evaluating regexes and naming conventions against training data
+//! (§5.3).
+//!
+//! Per-hostname classifications:
+//!
+//! - **TP** — extracted geohint is RTT-plausible and every tagged
+//!   country/state code was also extracted;
+//! - **FP** — extracted geohint is not RTT-consistent;
+//! - **FN** — nothing extracted although stage 2 tagged a hint, or a
+//!   tagged country/state code was dropped;
+//! - **UNK** — extraction not in the dictionary;
+//!
+//! and the ranking metrics ATP = TP − (FP + FN + UNK) and
+//! PPV = TP / (TP + FP).
+
+use crate::convention::{Extraction, GeoRegex, NamingConvention};
+use crate::learned::LearnedHints;
+use crate::train::TrainHost;
+use hoiho_geodb::GeoDb;
+use hoiho_geotypes::LocationId;
+use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy, VpSet};
+use std::collections::HashSet;
+
+/// Per-hostname outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Plausible extraction with required codes.
+    Tp,
+    /// Extraction violates RTT constraints.
+    Fp,
+    /// Missed a tagged hint or its codes.
+    Fn,
+    /// Extraction unknown to the dictionary.
+    Unk,
+    /// Untagged hostname with no extraction: no contribution.
+    Ignore,
+}
+
+/// Aggregated counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// Unknown extractions.
+    pub unk: usize,
+    /// Distinct TP hint strings.
+    pub unique_hints: HashSet<String>,
+}
+
+impl Metrics {
+    /// Absolute true positives: `TP − (FP + FN + UNK)`.
+    pub fn atp(&self) -> i64 {
+        self.tp as i64 - (self.fp + self.fn_ + self.unk) as i64
+    }
+
+    /// Positive predictive value: `TP / (TP + FP)`; 0 when undefined.
+    pub fn ppv(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    fn add(&mut self, outcome: Outcome, hint: Option<&str>) {
+        match outcome {
+            Outcome::Tp => {
+                self.tp += 1;
+                if let Some(h) = hint {
+                    self.unique_hints.insert(h.to_string());
+                }
+            }
+            Outcome::Fp => self.fp += 1,
+            Outcome::Fn => self.fn_ += 1,
+            Outcome::Unk => self.unk += 1,
+            Outcome::Ignore => {}
+        }
+    }
+}
+
+/// Evaluation of one NC (or single regex) over a suffix's hosts.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Aggregate counts.
+    pub metrics: Metrics,
+    /// Per-host extraction and outcome, index-aligned with the host
+    /// list, plus the index of the NC regex that matched.
+    pub per_host: Vec<(Option<Extraction>, Outcome, Option<usize>)>,
+}
+
+/// Decode a hint string through the suffix-specific learned dictionary
+/// first, then the reference dictionary.
+pub fn decode(
+    db: &GeoDb,
+    learned: Option<&LearnedHints>,
+    extraction: &Extraction,
+) -> Vec<LocationId> {
+    if let Some(l) = learned {
+        if let Some(loc) = l.get(&extraction.hint, extraction.ty) {
+            return vec![loc];
+        }
+    }
+    db.lookup_typed(&extraction.hint, extraction.ty)
+}
+
+/// Classify one host's extraction.
+pub fn classify_host(
+    db: &GeoDb,
+    vps: &VpSet,
+    policy: &ConsistencyPolicy,
+    host: &TrainHost,
+    extraction: Option<&Extraction>,
+    learned: Option<&LearnedHints>,
+) -> Outcome {
+    let Some(e) = extraction else {
+        return if host.is_tagged() {
+            Outcome::Fn
+        } else {
+            Outcome::Ignore
+        };
+    };
+    let locs = decode(db, learned, e);
+    if locs.is_empty() {
+        return Outcome::Unk;
+    }
+    // RTT feasibility (vacuously true for unmeasured routers — regexes
+    // generalise to routers delay measurements cannot reach).
+    let consistent: Vec<LocationId> = locs
+        .into_iter()
+        .filter(|id| rtt_consistent(vps, &host.rtts, &db.location(*id).coords, policy))
+        .collect();
+    if consistent.is_empty() {
+        return Outcome::Fp;
+    }
+    // Extracted country/state tokens must describe the location.
+    if !e.cc_tokens.is_empty() {
+        let cc_ok = consistent.iter().any(|id| {
+            e.cc_tokens
+                .iter()
+                .all(|t| db.location(*id).matches_cc_or_state(t))
+        });
+        if !cc_ok {
+            return Outcome::Fp;
+        }
+    }
+    // The apparent-geohint tag for this string dictates which codes the
+    // regex had to extract (fig 6a: extracting "lhr" without "uk" is FN).
+    if let Some(tag) = host
+        .tags
+        .iter()
+        .find(|t| t.text == e.hint && t.ty == e.ty)
+        .or_else(|| host.tags.iter().find(|t| t.text == e.hint))
+    {
+        let all_extracted = tag
+            .cc_texts
+            .iter()
+            .all(|c| e.cc_tokens.iter().any(|t| t == c));
+        if !all_extracted {
+            return Outcome::Fn;
+        }
+    }
+    Outcome::Tp
+}
+
+/// Evaluate a full NC: the first matching regex provides the extraction.
+pub fn eval_nc(
+    db: &GeoDb,
+    vps: &VpSet,
+    policy: &ConsistencyPolicy,
+    hosts: &[TrainHost],
+    nc: &NamingConvention,
+    learned: Option<&LearnedHints>,
+) -> EvalResult {
+    let mut metrics = Metrics::default();
+    let mut per_host = Vec::with_capacity(hosts.len());
+    for host in hosts {
+        let mut ext = None;
+        let mut which = None;
+        for (i, r) in nc.regexes.iter().enumerate() {
+            if let Some(e) = r.extract(&host.hostname) {
+                ext = Some(e);
+                which = Some(i);
+                break;
+            }
+        }
+        let outcome = classify_host(db, vps, policy, host, ext.as_ref(), learned);
+        metrics.add(outcome, ext.as_ref().map(|e| e.hint.as_str()));
+        per_host.push((ext, outcome, which));
+    }
+    EvalResult { metrics, per_host }
+}
+
+/// Evaluate a single regex as a one-regex NC.
+pub fn eval_regex(
+    db: &GeoDb,
+    vps: &VpSet,
+    policy: &ConsistencyPolicy,
+    hosts: &[TrainHost],
+    suffix: &str,
+    regex: &GeoRegex,
+    learned: Option<&LearnedHints>,
+) -> EvalResult {
+    let nc = NamingConvention {
+        suffix: suffix.to_string(),
+        regexes: vec![regex.clone()],
+    };
+    eval_nc(db, vps, policy, hosts, &nc, learned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convention::{CaptureRole, Plan};
+    use hoiho_geotypes::{Coordinates, GeohintType, Rtt};
+    use hoiho_regex::Regex;
+    use hoiho_rtt::{RouterRtts, VpId};
+    use std::sync::Arc;
+
+    fn world() -> (GeoDb, VpSet) {
+        let db = GeoDb::builtin();
+        let mut vps = VpSet::new();
+        vps.add("dca-us", Coordinates::new(38.9, -77.0));
+        vps.add("lcy-gb", Coordinates::new(51.5, 0.05));
+        (db, vps)
+    }
+
+    fn host(db: &GeoDb, vps: &VpSet, hostname: &str, rtt_pairs: &[(u16, f64)]) -> TrainHost {
+        let mut rtts = RouterRtts::new();
+        for (vp, ms) in rtt_pairs {
+            rtts.record(VpId(*vp), Rtt::from_ms(*ms));
+        }
+        let rtts = Arc::new(rtts);
+        // For tests assume suffix is the final two labels.
+        let prefix = {
+            let parts: Vec<&str> = hostname.split('.').collect();
+            parts[..parts.len() - 2].join(".")
+        };
+        let tags = crate::apparent::tag_prefix(db, vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
+        TrainHost {
+            hostname: hostname.to_string(),
+            prefix,
+            router: 0,
+            rtts,
+            tags,
+        }
+    }
+
+    fn iata_regex() -> GeoRegex {
+        GeoRegex {
+            regex: Regex::parse(r"^[^\.]+\.([a-z]{3})\d+\.example\.net$").unwrap(),
+            plan: Plan {
+                roles: vec![CaptureRole::Hint(GeohintType::Iata)],
+            },
+        }
+    }
+
+    #[test]
+    fn tp_when_consistent() {
+        let (db, vps) = world();
+        let h = host(&db, &vps, "cr1.lhr1.example.net", &[(1, 2.0)]);
+        let e = iata_regex().extract(&h.hostname);
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Tp);
+    }
+
+    #[test]
+    fn fp_when_inconsistent() {
+        let (db, vps) = world();
+        // 2ms from DC rules out London.
+        let h = host(&db, &vps, "cr1.lhr1.example.net", &[(0, 2.0)]);
+        let e = iata_regex().extract(&h.hostname);
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Fp);
+    }
+
+    #[test]
+    fn unk_when_not_in_dictionary() {
+        let (db, vps) = world();
+        let h = host(&db, &vps, "cr1.qqq1.example.net", &[(0, 2.0)]);
+        let e = iata_regex().extract(&h.hostname);
+        assert!(e.is_some());
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Unk);
+    }
+
+    #[test]
+    fn fn_when_tagged_but_unmatched() {
+        let (db, vps) = world();
+        // Tagged (lhr feasible from London VP) but the regex shape
+        // doesn't match the hostname (extra label).
+        let h = host(&db, &vps, "a.b.cr1.lhr1x.example.net", &[(1, 2.0)]);
+        assert!(h.is_tagged());
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, None, None);
+        assert_eq!(o, Outcome::Fn);
+    }
+
+    #[test]
+    fn ignore_when_untagged_and_unmatched() {
+        let (db, vps) = world();
+        let h = host(&db, &vps, "static-1-2.example.net", &[(0, 5.0)]);
+        assert!(!h.is_tagged());
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, None, None);
+        assert_eq!(o, Outcome::Ignore);
+    }
+
+    #[test]
+    fn fn_when_cc_dropped() {
+        let (db, vps) = world();
+        // The hostname carries lhr + uk; a regex that extracts only lhr
+        // must be penalised FN.
+        let h = host(&db, &vps, "x.mpr1.lhr15.uk.zip.example.net", &[(1, 2.0)]);
+        let r = GeoRegex {
+            regex: Regex::parse(r"^.+\.([a-z]{3})\d+\.[a-z]{2}\.[a-z]{3}\.example\.net$").unwrap(),
+            plan: Plan {
+                roles: vec![CaptureRole::Hint(GeohintType::Iata)],
+            },
+        };
+        let e = r.extract(&h.hostname);
+        assert!(e.is_some());
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Fn);
+    }
+
+    #[test]
+    fn tp_when_cc_extracted() {
+        let (db, vps) = world();
+        let h = host(&db, &vps, "x.mpr1.lhr15.uk.zip.example.net", &[(1, 2.0)]);
+        let r = GeoRegex {
+            regex: Regex::parse(r"^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.example\.net$")
+                .unwrap(),
+            plan: Plan {
+                roles: vec![CaptureRole::Hint(GeohintType::Iata), CaptureRole::CcOrState],
+            },
+        };
+        let e = r.extract(&h.hostname);
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Tp);
+    }
+
+    #[test]
+    fn metrics_math() {
+        let mut m = Metrics::default();
+        m.add(Outcome::Tp, Some("lhr"));
+        m.add(Outcome::Tp, Some("lhr"));
+        m.add(Outcome::Tp, Some("fra"));
+        m.add(Outcome::Fp, Some("ntt"));
+        m.add(Outcome::Fn, None);
+        m.add(Outcome::Unk, Some("qqq"));
+        m.add(Outcome::Ignore, None);
+        assert_eq!(m.tp, 3);
+        assert_eq!(m.atp(), 3 - 3);
+        assert!((m.ppv() - 0.75).abs() < 1e-9);
+        assert_eq!(m.unique_hints.len(), 2);
+    }
+
+    #[test]
+    fn unmeasured_router_extraction_is_tp_if_in_dict() {
+        let (db, vps) = world();
+        let h = host(&db, &vps, "cr1.lhr1.example.net", &[]);
+        assert!(!h.is_tagged()); // no RTTs → no tags
+        let e = iata_regex().extract(&h.hostname);
+        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
+        assert_eq!(o, Outcome::Tp);
+    }
+}

@@ -1,0 +1,551 @@
+//! Stage 4: learn operator geohints not in the reference dictionary
+//! (§5.4).
+//!
+//! For NCs that confidently extract geohints (≥3 unique RTT-consistent
+//! hints, PPV > 40%), the FP and UNK extractions are candidate
+//! *operator-specific* hints. Each is matched against place names with
+//! the abbreviation heuristics, candidates are ranked by facility
+//! presence, then population, then RTT-consistent router count, and the
+//! winner is adopted when it clears the PPV and congruence bars.
+
+use crate::convention::NamingConvention;
+use crate::eval::EvalResult;
+use crate::train::TrainHost;
+use hoiho_geodb::{builder::clli_region, GeoDb};
+use hoiho_geotypes::{GeohintType, LocationId, LocationKind};
+use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy, VpSet};
+use std::collections::{HashMap, HashSet};
+
+/// One learned suffix-specific geohint with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnedHint {
+    /// The hint token (`ash`, `mlanit`).
+    pub token: String,
+    /// The dictionary slot it overrides or extends.
+    pub ty: GeohintType,
+    /// The learned meaning.
+    pub location: LocationId,
+    /// Distinct routers RTT-consistent with the learned location.
+    pub tp: usize,
+    /// Distinct routers that contradict it.
+    pub fp: usize,
+    /// The best TP count the *existing* dictionary meaning achieved
+    /// (0 when the token was unknown).
+    pub existing_tp: usize,
+}
+
+/// A suffix-specific dictionary of learned hints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LearnedHints {
+    map: HashMap<(String, GeohintType), LocationId>,
+    /// Full evidence records.
+    pub hints: Vec<LearnedHint>,
+}
+
+impl LearnedHints {
+    /// Empty dictionary.
+    pub fn new() -> LearnedHints {
+        LearnedHints::default()
+    }
+
+    /// Look up a learned meaning.
+    pub fn get(&self, token: &str, ty: GeohintType) -> Option<LocationId> {
+        self.map.get(&(token.to_string(), ty)).copied()
+    }
+
+    /// Number of learned hints.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Whether nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    fn insert(&mut self, hint: LearnedHint) {
+        self.map
+            .insert((hint.token.clone(), hint.ty), hint.location);
+        self.hints.push(hint);
+    }
+
+    /// Rebuild a dictionary from hint records (used when loading
+    /// published regex/hint artifacts).
+    pub fn from_hints(hints: Vec<LearnedHint>) -> LearnedHints {
+        let mut out = LearnedHints::new();
+        for h in hints {
+            out.insert(h);
+        }
+        out
+    }
+}
+
+/// How stage 4 ranks candidate locations for an unknown hint (§5.4:
+/// "first by those known to have a facility, then by population, then by
+/// TPs"). The alternatives exist for the ablation DESIGN.md calls out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankOrder {
+    /// The paper's order: facility presence, then population, then TPs.
+    FacilityPopulationTp,
+    /// Skip the facility signal: population, then TPs.
+    PopulationTp,
+    /// Pure evidence: TPs, then population.
+    TpPopulation,
+}
+
+/// Thresholds of §5.4.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnPolicy {
+    /// Minimum PPV for the learned location (paper: 0.8).
+    pub min_ppv: f64,
+    /// Congruent routers required when the regex extracts no
+    /// country/state code (paper: 3).
+    pub congruent_without_cc: usize,
+    /// Congruent routers required when it does (paper: 1).
+    pub congruent_with_cc: usize,
+    /// Candidate ranking order.
+    pub rank: RankOrder,
+}
+
+impl Default for LearnPolicy {
+    fn default() -> Self {
+        LearnPolicy {
+            min_ppv: 0.8,
+            congruent_without_cc: 3,
+            congruent_with_cc: 1,
+            rank: RankOrder::FacilityPopulationTp,
+        }
+    }
+}
+
+/// Learn suffix-specific geohints from an NC's FP and UNK extractions.
+pub fn learn_hints(
+    db: &GeoDb,
+    vps: &VpSet,
+    policy: &ConsistencyPolicy,
+    learn: &LearnPolicy,
+    hosts: &[TrainHost],
+    nc: &NamingConvention,
+    eval: &EvalResult,
+) -> LearnedHints {
+    use crate::eval::Outcome;
+
+    // Group FP/UNK extractions by token.
+    struct Group {
+        ty: GeohintType,
+        host_idx: Vec<usize>,
+        extracts_cc: bool,
+        cc_tokens: Vec<Vec<String>>,
+    }
+    let mut groups: HashMap<String, Group> = HashMap::new();
+    for (i, (ext, outcome, which)) in eval.per_host.iter().enumerate() {
+        if !matches!(outcome, Outcome::Fp | Outcome::Unk) {
+            continue;
+        }
+        let Some(e) = ext else { continue };
+        let extracts_cc = which
+            .and_then(|w| nc.regexes.get(w))
+            .map(|r| r.plan.extracts_cc())
+            .unwrap_or(false);
+        let g = groups.entry(e.hint.clone()).or_insert(Group {
+            ty: e.ty,
+            host_idx: Vec::new(),
+            extracts_cc,
+            cc_tokens: Vec::new(),
+        });
+        g.host_idx.push(i);
+        if !e.cc_tokens.is_empty() {
+            g.cc_tokens.push(e.cc_tokens.clone());
+        }
+    }
+
+    let mut out = LearnedHints::new();
+    // Stable order: hash-map iteration must not influence results.
+    let mut groups: Vec<(String, Group)> = groups.into_iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    for (token, g) in groups {
+        let candidates = candidate_locations(db, &token, g.ty);
+        if candidates.is_empty() {
+            continue;
+        }
+        // Candidates must agree with every extracted country/state code.
+        let candidates: Vec<LocationId> = candidates
+            .into_iter()
+            .filter(|id| {
+                g.cc_tokens.iter().all(|tokens| {
+                    tokens
+                        .iter()
+                        .all(|t| db.location(*id).matches_cc_or_state(t))
+                })
+            })
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+
+        // Score each candidate over the distinct routers of the group.
+        let mut scored: Vec<(LocationId, usize, usize)> = candidates
+            .iter()
+            .map(|&loc| {
+                let (tp, fp) = score(db, vps, policy, hosts, &g.host_idx, loc);
+                (loc, tp, fp)
+            })
+            .collect();
+        // Rank per policy (the paper: facility, then population, then
+        // TPs).
+        scored.sort_by(|a, b| {
+            let pop = |x: &(LocationId, usize, usize)| db.location(x.0).population;
+            match learn.rank {
+                RankOrder::FacilityPopulationTp => {
+                    let fa = db.has_facility(a.0);
+                    let fb = db.has_facility(b.0);
+                    fb.cmp(&fa)
+                        .then_with(|| pop(b).cmp(&pop(a)))
+                        .then_with(|| b.1.cmp(&a.1))
+                }
+                RankOrder::PopulationTp => pop(b).cmp(&pop(a)).then_with(|| b.1.cmp(&a.1)),
+                RankOrder::TpPopulation => b.1.cmp(&a.1).then_with(|| pop(b).cmp(&pop(a))),
+            }
+        });
+        let (loc, tp, fp) = scored[0];
+
+        // The existing dictionary meaning's best score.
+        let existing = db.lookup_typed(&token, g.ty);
+        let existing_tp = existing
+            .iter()
+            .map(|&l| score(db, vps, policy, hosts, &g.host_idx, l).0)
+            .max()
+            .unwrap_or(0);
+
+        let ppv = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        if ppv < learn.min_ppv {
+            continue;
+        }
+        if !existing.is_empty() && tp <= existing_tp + 1 {
+            continue;
+        }
+        let need = if g.extracts_cc {
+            learn.congruent_with_cc
+        } else {
+            learn.congruent_without_cc
+        };
+        if tp < need {
+            continue;
+        }
+        out.insert(LearnedHint {
+            token,
+            ty: g.ty,
+            location: loc,
+            tp,
+            fp,
+            existing_tp,
+        });
+    }
+    out
+}
+
+/// Count distinct routers RTT-consistent (TP) / inconsistent (FP) with a
+/// candidate location. Routers without measurements contribute nothing.
+fn score(
+    db: &GeoDb,
+    vps: &VpSet,
+    policy: &ConsistencyPolicy,
+    hosts: &[TrainHost],
+    host_idx: &[usize],
+    loc: LocationId,
+) -> (usize, usize) {
+    let coords = db.location(loc).coords;
+    let mut tp_routers = HashSet::new();
+    let mut fp_routers = HashSet::new();
+    for &i in host_idx {
+        let h = &hosts[i];
+        if h.rtts.is_empty() {
+            continue;
+        }
+        if rtt_consistent(vps, &h.rtts, &coords, policy) {
+            tp_routers.insert(h.router);
+        } else {
+            fp_routers.insert(h.router);
+        }
+    }
+    // A router that is consistent via one hostname and inconsistent via
+    // another counts on both sides only once each.
+    (tp_routers.len(), fp_routers.len())
+}
+
+/// Candidate locations a token could abbreviate, per hint type (§5.4).
+pub fn candidate_locations(db: &GeoDb, token: &str, ty: GeohintType) -> Vec<LocationId> {
+    match ty {
+        GeohintType::Iata | GeohintType::Icao => db.abbreviation_candidates(token, false),
+        GeohintType::CityName => db.abbreviation_candidates(token, true),
+        GeohintType::Clli => {
+            if token.len() != 6 {
+                return Vec::new();
+            }
+            let four = &token[..4];
+            let region = &token[4..6];
+            db.iter()
+                .filter(|(_, l)| {
+                    l.kind == LocationKind::City
+                        && hoiho_geodb::is_abbreviation(four, &l.name, &Default::default())
+                        && clli_region(l) == region
+                })
+                .map(|(id, _)| id)
+                .collect()
+        }
+        GeohintType::Locode => {
+            if token.len() != 5 {
+                return Vec::new();
+            }
+            let cc = &token[..2];
+            let tail = &token[2..];
+            db.iter()
+                .filter(|(_, l)| {
+                    l.kind == LocationKind::City
+                        && l.country.matches_token(cc)
+                        && hoiho_geodb::is_abbreviation(tail, &l.name, &Default::default())
+                })
+                .map(|(id, _)| id)
+                .collect()
+        }
+        GeohintType::Facility => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convention::{CaptureRole, GeoRegex, Plan};
+    use crate::eval::eval_nc;
+    use hoiho_geotypes::{Coordinates, Rtt};
+    use hoiho_regex::Regex;
+    use hoiho_rtt::{RouterRtts, VpId, VpSet};
+    use std::sync::Arc;
+
+    fn world() -> (GeoDb, VpSet) {
+        let db = GeoDb::builtin();
+        let mut vps = VpSet::new();
+        vps.add("cgs-us", Coordinates::new(38.98, -76.94)); // College Park MD
+        vps.add("zrh-ch", Coordinates::new(47.38, 8.54)); // Zurich
+        (db, vps)
+    }
+
+    fn host(
+        db: &GeoDb,
+        vps: &VpSet,
+        router: u32,
+        hostname: &str,
+        rtt_pairs: &[(u16, f64)],
+    ) -> TrainHost {
+        let mut rtts = RouterRtts::new();
+        for (vp, ms) in rtt_pairs {
+            rtts.record(VpId(*vp), Rtt::from_ms(*ms));
+        }
+        let rtts = Arc::new(rtts);
+        let parts: Vec<&str> = hostname.split('.').collect();
+        let prefix = parts[..parts.len() - 2].join(".");
+        let tags = crate::apparent::tag_prefix(db, vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
+        TrainHost {
+            hostname: hostname.to_string(),
+            prefix,
+            router,
+            rtts,
+            tags,
+        }
+    }
+
+    /// Reproduce figure 8a: he.net-style hostnames using "ash" for
+    /// Ashburn VA while the IATA dictionary says Nashua NH.
+    #[test]
+    fn learns_ash_is_ashburn() {
+        let (db, vps) = world();
+        let nc = NamingConvention {
+            suffix: "example.net".into(),
+            regexes: vec![GeoRegex {
+                regex: Regex::parse(r"^.+\.core\d+\.([a-z]{3})\d+\.example\.net$").unwrap(),
+                plan: Plan {
+                    roles: vec![CaptureRole::Hint(GeohintType::Iata)],
+                },
+            }],
+        };
+        // Four Ashburn routers (3–9 ms from College Park) plus three
+        // legitimate Zurich routers so the NC itself is confident.
+        let hosts = vec![
+            host(&db, &vps, 1, "gcr.core1.ash1.example.net", &[(0, 9.0)]),
+            host(&db, &vps, 2, "ge1-2.core1.ash1.example.net", &[(0, 3.0)]),
+            host(&db, &vps, 3, "ge10-1.core2.ash1.example.net", &[(0, 3.0)]),
+            host(&db, &vps, 4, "ve401.core2.ash1.example.net", &[(0, 5.0)]),
+            host(&db, &vps, 5, "a.core1.zrh1.example.net", &[(1, 2.0)]),
+            host(&db, &vps, 6, "b.core1.zrh2.example.net", &[(1, 2.0)]),
+        ];
+        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
+        // "ash" decodes to Nashua which is ~700km away: FPs.
+        assert!(eval.metrics.fp >= 3, "fp = {}", eval.metrics.fp);
+        let learned = learn_hints(
+            &db,
+            &vps,
+            &ConsistencyPolicy::STRICT,
+            &LearnPolicy::default(),
+            &hosts,
+            &nc,
+            &eval,
+        );
+        let loc = learned.get("ash", GeohintType::Iata).expect("ash learned");
+        let l = db.location(loc);
+        assert_eq!(l.name, "Ashburn");
+        assert_eq!(l.state.unwrap().as_str(), "va");
+        // Re-evaluation with the learned hint turns the FPs into TPs.
+        let eval2 = eval_nc(
+            &db,
+            &vps,
+            &ConsistencyPolicy::STRICT,
+            &hosts,
+            &nc,
+            Some(&learned),
+        );
+        assert!(eval2.metrics.tp > eval.metrics.tp);
+        assert_eq!(eval2.metrics.fp, 0);
+    }
+
+    /// Reproduce figure 8b: an invented CLLI "mlanit" with a country
+    /// code needs only one congruent router.
+    #[test]
+    fn learns_invented_clli_with_cc() {
+        let (db, vps) = world();
+        let nc = NamingConvention {
+            suffix: "example.net".into(),
+            regexes: vec![GeoRegex {
+                regex: Regex::parse(r"^.+\.r\d+\.([a-z]{6})\d+\.([a-z]{2})\.bb\.example\.net$")
+                    .unwrap(),
+                plan: Plan {
+                    roles: vec![CaptureRole::Hint(GeohintType::Clli), CaptureRole::CcOrState],
+                },
+            }],
+        };
+        // Milan is ~220km from the Zurich VP. Include enough real CLLI
+        // extractions for NC confidence.
+        let hosts = vec![
+            host(
+                &db,
+                &vps,
+                1,
+                "ae-7.r02.mlanit01.it.bb.example.net",
+                &[(1, 6.0)],
+            ),
+            host(
+                &db,
+                &vps,
+                2,
+                "ae-3.r21.mlanit02.it.bb.example.net",
+                &[(1, 6.0)],
+            ),
+            host(
+                &db,
+                &vps,
+                3,
+                "x.r01.zrchzh01.ch.bb.example.net",
+                &[(1, 1.0)],
+            ),
+            host(
+                &db,
+                &vps,
+                4,
+                "x.r01.gnvege01.ch.bb.example.net",
+                &[(1, 4.0)],
+            ),
+            host(
+                &db,
+                &vps,
+                5,
+                "x.r01.mnchby01.de.bb.example.net",
+                &[(1, 4.5)],
+            ),
+        ];
+        // The supporting hostnames use the derived dictionary CLLI
+        // prefixes for Zurich/Geneva/Munich so the NC itself looks sane.
+        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
+        let learned = learn_hints(
+            &db,
+            &vps,
+            &ConsistencyPolicy::STRICT,
+            &LearnPolicy::default(),
+            &hosts,
+            &nc,
+            &eval,
+        );
+        let loc = learned
+            .get("mlanit", GeohintType::Clli)
+            .expect("mlanit learned");
+        assert_eq!(db.location(loc).name, "Milan");
+    }
+
+    #[test]
+    fn does_not_learn_from_single_router_without_cc() {
+        let (db, vps) = world();
+        let nc = NamingConvention {
+            suffix: "example.net".into(),
+            regexes: vec![GeoRegex {
+                regex: Regex::parse(r"^.+\.core\d+\.([a-z]{3})\d+\.example\.net$").unwrap(),
+                plan: Plan {
+                    roles: vec![CaptureRole::Hint(GeohintType::Iata)],
+                },
+            }],
+        };
+        // Only one Ashburn router: below the 3-congruent-router bar.
+        let hosts = vec![host(
+            &db,
+            &vps,
+            1,
+            "gcr.core1.ash1.example.net",
+            &[(0, 5.0)],
+        )];
+        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
+        let learned = learn_hints(
+            &db,
+            &vps,
+            &ConsistencyPolicy::STRICT,
+            &LearnPolicy::default(),
+            &hosts,
+            &nc,
+            &eval,
+        );
+        assert!(learned.get("ash", GeohintType::Iata).is_none());
+    }
+
+    #[test]
+    fn candidate_locations_by_type() {
+        let (db, _) = world();
+        // IATA-style: loose abbreviation.
+        let c = candidate_locations(&db, "ash", GeohintType::Iata);
+        assert!(c.iter().any(|&id| db.location(id).name == "Ashburn"));
+        assert!(c.iter().any(|&id| db.location(id).name == "Ashland"));
+        // CLLI: 4-letter abbreviation + matching region.
+        let c = candidate_locations(&db, "mlanit", GeohintType::Clli);
+        assert!(c.iter().any(|&id| db.location(id).name == "Milan"));
+        assert!(c.iter().all(|&id| db.location(id).country.as_str() == "it"));
+        // LOCODE: country prefix enforced.
+        let c = candidate_locations(&db, "jptky", GeohintType::Locode);
+        assert!(c.iter().all(|&id| db.location(id).country.as_str() == "jp"));
+        // Wrong widths are rejected.
+        assert!(candidate_locations(&db, "mlan", GeohintType::Clli).is_empty());
+        assert!(candidate_locations(&db, "tky", GeohintType::Locode).is_empty());
+        // Facilities are never learned.
+        assert!(candidate_locations(&db, "x", GeohintType::Facility).is_empty());
+    }
+
+    #[test]
+    fn population_breaks_ties_toward_big_city() {
+        // fig 8a: Ashburn VA beats Ashland VA/NJ via facility+population.
+        let (db, _) = world();
+        let cands = candidate_locations(&db, "ash", GeohintType::Iata);
+        let ashburn = cands
+            .iter()
+            .find(|&&id| db.location(id).name == "Ashburn" && db.location(id).population > 10_000)
+            .unwrap();
+        assert!(db.has_facility(*ashburn));
+    }
+}

@@ -1,0 +1,339 @@
+//! Parsers for the real dictionary file formats (§5.1.1):
+//!
+//! - [`parse_ourairports_csv`] — the OurAirports `airports.csv` schema;
+//! - [`parse_unlocode_csv`] — the UN/LOCODE code-list CSV;
+//! - [`parse_geonames_tsv`] — the GeoNames `cities*.txt` tab format.
+//!
+//! Each parser is tolerant of the quirks the real files exhibit (quoted
+//! CSV fields, missing coordinates, the UN's `ddmm[N|S] dddmm[E|W]`
+//! coordinate encoding) and feeds rows into a [`GeoDbBuilder`].
+
+use crate::builder::GeoDbBuilder;
+use hoiho_geotypes::Coordinates;
+use std::fmt;
+
+/// Error from a dictionary-format parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Split one CSV record honouring double-quoted fields with embedded
+/// commas and doubled quotes.
+pub fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parse OurAirports `airports.csv` content into the builder. Relevant
+/// columns: `ident` (ICAO), `iata_code`, `municipality`, `iso_country`,
+/// `iso_region`, `latitude_deg`, `longitude_deg`. Rows without an IATA
+/// code or coordinates are skipped (matching the paper's 91.9% coverage
+/// note). Returns the number of airports loaded.
+pub fn parse_ourairports_csv(builder: &mut GeoDbBuilder, text: &str) -> Result<usize, FormatError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(FormatError {
+        line: 1,
+        msg: "empty file".into(),
+    })?;
+    let cols = split_csv(header);
+    let find = |name: &str| cols.iter().position(|c| c == name);
+    let (Some(ident), Some(iata), Some(muni), Some(country), Some(region), Some(lat), Some(lon)) = (
+        find("ident"),
+        find("iata_code"),
+        find("municipality"),
+        find("iso_country"),
+        find("iso_region"),
+        find("latitude_deg"),
+        find("longitude_deg"),
+    ) else {
+        return Err(FormatError {
+            line: 1,
+            msg: "missing required OurAirports columns".into(),
+        });
+    };
+
+    let mut loaded = 0;
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_csv(line);
+        let get = |idx: usize| f.get(idx).map(String::as_str).unwrap_or("");
+        let iata_code = get(iata).trim().to_ascii_lowercase();
+        if iata_code.len() != 3 || !iata_code.chars().all(|c| c.is_ascii_alphabetic()) {
+            continue;
+        }
+        let (Ok(lat_v), Ok(lon_v)) = (get(lat).parse::<f64>(), get(lon).parse::<f64>()) else {
+            continue;
+        };
+        let cc = get(country).trim().to_ascii_lowercase();
+        if cc.len() != 2 {
+            continue;
+        }
+        // iso_region is like "US-VA"; keep the subdivision.
+        let state = get(region)
+            .rsplit('-')
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        let state =
+            if (2..=3).contains(&state.len()) && state.chars().all(|c| c.is_ascii_alphabetic()) {
+                state
+            } else {
+                String::new()
+            };
+        let city = get(muni).trim();
+        if city.is_empty() {
+            continue;
+        }
+        let icao = get(ident).trim().to_ascii_lowercase();
+        let icao = if icao.len() == 4 && icao.chars().all(|c| c.is_ascii_alphabetic()) {
+            icao
+        } else {
+            String::new()
+        };
+        builder.add_airport(
+            &iata_code,
+            &icao,
+            city,
+            &cc,
+            &state,
+            Coordinates::new(lat_v, lon_v),
+        );
+        loaded += 1;
+        let _ = i;
+    }
+    Ok(loaded)
+}
+
+/// Parse the UN/LOCODE code-list CSV (columns: change, country, location,
+/// name, name_wo_diacritics, subdivision, status, function, date, iata,
+/// coordinates, remarks). The coordinate field is `ddmmN dddmmW`.
+/// Locations are added as cities with their LOCODE registered; rows
+/// without coordinates are skipped (the paper joined those with
+/// GeoNames). Returns the number of codes loaded.
+pub fn parse_unlocode_csv(builder: &mut GeoDbBuilder, text: &str) -> Result<usize, FormatError> {
+    let mut loaded = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f = split_csv(line);
+        if f.len() < 11 {
+            return Err(FormatError {
+                line: i + 1,
+                msg: format!("expected ≥11 columns, got {}", f.len()),
+            });
+        }
+        let cc = f[1].trim().to_ascii_lowercase();
+        let loc3 = f[2].trim().to_ascii_lowercase();
+        let name = f[4].trim();
+        let subdiv = f[5].trim().to_ascii_lowercase();
+        let coords_raw = f[10].trim();
+        if cc.len() != 2 || loc3.len() != 3 || name.is_empty() {
+            continue;
+        }
+        let Some(coords) = parse_unlocode_coords(coords_raw) else {
+            continue;
+        };
+        let state =
+            if (2..=3).contains(&subdiv.len()) && subdiv.chars().all(|c| c.is_ascii_alphabetic()) {
+                subdiv.as_str()
+            } else {
+                ""
+            };
+        let id = builder.add_city(name, &cc, state, coords, 0);
+        builder.add_locode(&format!("{cc}{loc3}"), id);
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+/// Decode the UN/LOCODE `ddmmN dddmmW` coordinate form.
+pub fn parse_unlocode_coords(s: &str) -> Option<Coordinates> {
+    let mut parts = s.split_whitespace();
+    let lat = parts.next()?;
+    let lon = parts.next()?;
+    fn decode(tok: &str, deg_digits: usize) -> Option<f64> {
+        if tok.len() != deg_digits + 3 {
+            return None;
+        }
+        let (num, hemi) = tok.split_at(deg_digits + 2);
+        let deg: f64 = num[..deg_digits].parse().ok()?;
+        let min: f64 = num[deg_digits..].parse().ok()?;
+        let v = deg + min / 60.0;
+        match hemi {
+            "N" | "E" => Some(v),
+            "S" | "W" => Some(-v),
+            _ => None,
+        }
+    }
+    Some(Coordinates::new(decode(lat, 2)?, decode(lon, 3)?))
+}
+
+/// Parse GeoNames `cities*.txt` rows (tab-separated; columns include
+/// name at 1, latitude 4, longitude 5, country code 8, admin1 10,
+/// population 14). Returns the number of cities loaded.
+pub fn parse_geonames_tsv(builder: &mut GeoDbBuilder, text: &str) -> Result<usize, FormatError> {
+    let mut loaded = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() < 15 {
+            return Err(FormatError {
+                line: i + 1,
+                msg: format!("expected ≥15 tab-separated columns, got {}", f.len()),
+            });
+        }
+        let name = f[1].trim();
+        let (Ok(lat), Ok(lon)) = (f[4].trim().parse::<f64>(), f[5].trim().parse::<f64>()) else {
+            continue;
+        };
+        let cc = f[8].trim().to_ascii_lowercase();
+        if name.is_empty() || cc.len() != 2 {
+            continue;
+        }
+        let admin1 = f[10].trim().to_ascii_lowercase();
+        let state =
+            if (2..=3).contains(&admin1.len()) && admin1.chars().all(|c| c.is_ascii_alphabetic()) {
+                admin1.as_str()
+            } else {
+                ""
+            };
+        let pop: u64 = f[14].trim().parse().unwrap_or(0);
+        builder.add_city(name, &cc, state, Coordinates::new(lat, lon), pop);
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho_geotypes::GeohintType;
+
+    #[test]
+    fn csv_splitting_handles_quotes() {
+        assert_eq!(split_csv("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv(r#"a,"b,c",d"#), vec!["a", "b,c", "d"]);
+        assert_eq!(split_csv(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(split_csv(""), vec![""]);
+        assert_eq!(split_csv("a,"), vec!["a", ""]);
+    }
+
+    #[test]
+    fn ourairports_roundtrip() {
+        let csv = "\
+id,ident,type,name,latitude_deg,longitude_deg,elevation_ft,continent,iso_country,iso_region,municipality,scheduled_service,gps_code,iata_code,local_code
+2434,EGLL,large_airport,London Heathrow,51.4706,-0.461941,83,EU,GB,GB-ENG,London,yes,EGLL,LHR,
+3754,KASH,small_airport,Boire Field,42.7817,-71.5148,199,NA,US,US-NH,Nashua,no,KASH,ASH,ASH
+9999,XXXX,heliport,No Iata,1.0,1.0,0,NA,US,US-XX,Nowhere,no,,,
+";
+        let mut b = GeoDbBuilder::new();
+        let n = parse_ourairports_csv(&mut b, csv).unwrap();
+        assert_eq!(n, 2);
+        let db = b.build();
+        let hits = db.lookup("lhr");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].hint_type, GeohintType::Iata);
+        assert_eq!(db.location(hits[0].location).name, "London");
+        assert!(db
+            .lookup("ash")
+            .iter()
+            .any(|h| db.location(h.location).name == "Nashua"));
+    }
+
+    #[test]
+    fn ourairports_missing_columns_is_error() {
+        let mut b = GeoDbBuilder::new();
+        assert!(parse_ourairports_csv(&mut b, "a,b,c\n1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn unlocode_coordinate_decoding() {
+        let c = parse_unlocode_coords("3904N 07729W").unwrap();
+        assert!((c.lat() - 39.0667).abs() < 0.01);
+        assert!((c.lon() + 77.4833).abs() < 0.01);
+        let c = parse_unlocode_coords("3352S 15113E").unwrap();
+        assert!(c.lat() < 0.0 && c.lon() > 0.0);
+        assert!(parse_unlocode_coords("").is_none());
+        assert!(parse_unlocode_coords("bogus").is_none());
+        assert!(parse_unlocode_coords("3904X 07729W").is_none());
+    }
+
+    #[test]
+    fn unlocode_rows_load() {
+        let csv = "\
+,US,QAS,Ashburn,Ashburn,VA,--3-----,RL,0701,,3904N 07729W,
+,GB,LON,London,London,,1-345---,AI,9501,,5130N 00005W,
+,ZZ,XXX,NoCoords,NoCoords,,1,RL,0701,,,
+";
+        let mut b = GeoDbBuilder::new();
+        let n = parse_unlocode_csv(&mut b, csv).unwrap();
+        assert_eq!(n, 2);
+        let db = b.build();
+        assert!(db
+            .lookup("usqas")
+            .iter()
+            .any(|h| h.hint_type == GeohintType::Locode));
+        assert!(db
+            .lookup("gblon")
+            .iter()
+            .any(|h| h.hint_type == GeohintType::Locode));
+    }
+
+    #[test]
+    fn geonames_rows_load() {
+        let row = "4744870\tAshburn\tAshburn\t\t39.04372\t-77.48749\tP\tPPL\tUS\t\tVA\t107\t\t\t43511\t\t86\tAmerica/New_York\t2011-05-14";
+        let mut b = GeoDbBuilder::new();
+        let n = parse_geonames_tsv(&mut b, row).unwrap();
+        assert_eq!(n, 1);
+        let db = b.build();
+        let hits = db.lookup("ashburn");
+        assert_eq!(hits.len(), 1);
+        let l = db.location(hits[0].location);
+        assert_eq!(l.population, 43_511);
+        assert_eq!(l.state.unwrap().as_str(), "va");
+    }
+
+    #[test]
+    fn geonames_short_row_is_error() {
+        let mut b = GeoDbBuilder::new();
+        assert!(parse_geonames_tsv(&mut b, "a\tb\tc").is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Robustness properties of the dictionary-format parsers: they must
+//! never panic, whatever bytes arrive, and well-formed rows must load.
+
+use hoiho_geodb::formats::{
+    parse_geonames_tsv, parse_ourairports_csv, parse_unlocode_coords, parse_unlocode_csv,
+    split_csv,
+};
+use hoiho_geodb::GeoDbBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text through every parser: Ok or Err, never a panic.
+    #[test]
+    fn parsers_are_total(text in "[ -~\\n\"\\t]{0,300}") {
+        let mut b = GeoDbBuilder::new();
+        let _ = parse_ourairports_csv(&mut b, &text);
+        let mut b = GeoDbBuilder::new();
+        let _ = parse_unlocode_csv(&mut b, &text);
+        let mut b = GeoDbBuilder::new();
+        let _ = parse_geonames_tsv(&mut b, &text);
+        let _ = parse_unlocode_coords(&text);
+    }
+
+    /// CSV splitting: joining unquoted fields back with commas is the
+    /// inverse of splitting.
+    #[test]
+    fn csv_split_roundtrip(fields in proptest::collection::vec("[a-z0-9 ]{0,8}", 1..6)) {
+        let line = fields.join(",");
+        prop_assert_eq!(split_csv(&line), fields);
+    }
+
+    /// Quoted fields containing commas survive splitting.
+    #[test]
+    fn csv_quoted_commas(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
+        let line = format!("x,\"{a},{b}\",y");
+        prop_assert_eq!(split_csv(&line), vec!["x".to_string(), format!("{a},{b}"), "y".to_string()]);
+    }
+
+    /// Well-formed GeoNames rows always load and index their city.
+    #[test]
+    fn geonames_wellformed_rows_load(
+        name in "[A-Z][a-z]{2,10}",
+        lat in -89.0f64..89.0,
+        lon in -179.0f64..179.0,
+        pop in 0u64..10_000_000,
+    ) {
+        let row = format!(
+            "1\t{name}\t{name}\t\t{lat:.4}\t{lon:.4}\tP\tPPL\tUS\t\tCA\t1\t\t\t{pop}\t\t10\tTZ\t2020-01-01"
+        );
+        let mut b = GeoDbBuilder::new();
+        let n = parse_geonames_tsv(&mut b, &row).unwrap();
+        prop_assert_eq!(n, 1);
+        let db = b.build();
+        let hits = db.lookup(&name.to_ascii_lowercase());
+        prop_assert!(!hits.is_empty());
+        let l = db.location(hits[0].location);
+        prop_assert_eq!(l.population, pop);
+        prop_assert!((l.coords.lat() - lat).abs() < 1e-3);
+    }
+
+    /// UN/LOCODE coordinate decoding round-trips within a minute of arc.
+    #[test]
+    fn unlocode_coords_roundtrip(
+        latd in 0u32..90, latm in 0u32..60,
+        lond in 0u32..180, lonm in 0u32..60,
+        south in proptest::bool::ANY, west in proptest::bool::ANY,
+    ) {
+        let s = format!(
+            "{latd:02}{latm:02}{} {lond:03}{lonm:02}{}",
+            if south { "S" } else { "N" },
+            if west { "W" } else { "E" },
+        );
+        let c = parse_unlocode_coords(&s).expect("valid form");
+        let want_lat = (latd as f64 + latm as f64 / 60.0) * if south { -1.0 } else { 1.0 };
+        let want_lon = (lond as f64 + lonm as f64 / 60.0) * if west { -1.0 } else { 1.0 };
+        prop_assert!((c.lat() - want_lat.clamp(-90.0, 90.0)).abs() < 1e-6);
+        if want_lon.abs() < 180.0 - 1e-9 {
+            prop_assert!((c.lon() - want_lon).abs() < 1e-6);
+        }
+    }
+
+    /// The abbreviation matcher is total and symmetric in trivial cases.
+    #[test]
+    fn abbreviation_matcher_is_total(a in "[a-z]{0,10}", b in "[A-Za-z ]{0,16}") {
+        let _ = hoiho_geodb::is_abbreviation(&a, &b, &Default::default());
+        // A name always abbreviates itself (when alphabetic, single word).
+        if !b.is_empty() && b.chars().all(|c| c.is_ascii_alphabetic()) {
+            prop_assert!(hoiho_geodb::is_abbreviation(&b.to_ascii_lowercase(), &b, &Default::default()));
+        }
+    }
+}

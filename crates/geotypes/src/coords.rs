@@ -1,0 +1,141 @@
+//! Geographic coordinates and great-circle distance.
+
+use std::fmt;
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A WGS-84 latitude/longitude pair in decimal degrees.
+///
+/// Latitude is clamped to `[-90, 90]`, longitude normalised to
+/// `(-180, 180]` at construction time, so downstream math never has to
+/// re-validate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coordinates {
+    lat: f64,
+    lon: f64,
+}
+
+impl Coordinates {
+    /// Build coordinates, clamping latitude and wrapping longitude into
+    /// canonical ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = lon % 360.0;
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon <= -180.0 {
+            lon += 360.0;
+        }
+        Coordinates { lat, lon }
+    }
+
+    /// Latitude in decimal degrees, in `[-90, 90]`.
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in decimal degrees, in `(-180, 180]`.
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// This is the distance the speed-of-light feasibility model
+    /// ([`crate::rtt`]) converts to a theoretical best-case RTT.
+    pub fn distance_km(&self, other: &Coordinates) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        // Guard against floating error pushing `a` a hair above 1.0.
+        let a = a.clamp(0.0, 1.0);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_KM * c
+    }
+}
+
+impl fmt::Display for Coordinates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let c = Coordinates::new(38.9, -77.0);
+        assert!(c.distance_km(&c) < 1e-9);
+    }
+
+    #[test]
+    fn london_to_newyork_is_about_5570km() {
+        let lon = Coordinates::new(51.5074, -0.1278);
+        let nyc = Coordinates::new(40.7128, -74.0060);
+        let d = lon.distance_km(&nyc);
+        assert!(approx(d, 5570.0, 30.0), "got {d}");
+    }
+
+    #[test]
+    fn sydney_to_london_is_about_17000km() {
+        let syd = Coordinates::new(-33.8688, 151.2093);
+        let lon = Coordinates::new(51.5074, -0.1278);
+        let d = syd.distance_km(&lon);
+        assert!(approx(d, 16990.0, 60.0), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = Coordinates::new(0.0, 0.0);
+        let b = Coordinates::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!(
+            approx(d, std::f64::consts::PI * EARTH_RADIUS_KM, 1.0),
+            "got {d}"
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Coordinates::new(35.6762, 139.6503);
+        let b = Coordinates::new(-36.8485, 174.7633);
+        assert!(approx(a.distance_km(&b), b.distance_km(&a), 1e-9));
+    }
+
+    #[test]
+    fn latitude_clamped() {
+        let c = Coordinates::new(123.0, 0.0);
+        assert_eq!(c.lat(), 90.0);
+        let c = Coordinates::new(-91.0, 0.0);
+        assert_eq!(c.lat(), -90.0);
+    }
+
+    #[test]
+    fn longitude_wrapped() {
+        let c = Coordinates::new(0.0, 190.0);
+        assert!(approx(c.lon(), -170.0, 1e-9));
+        let c = Coordinates::new(0.0, -190.0);
+        assert!(approx(c.lon(), 170.0, 1e-9));
+        let c = Coordinates::new(0.0, 540.0);
+        assert!(approx(c.lon(), 180.0, 1e-9));
+    }
+
+    #[test]
+    fn crossing_antimeridian_is_short() {
+        // Fiji (179E) to just over the line (179W) should be ~222km, not
+        // most of the way around the planet.
+        let a = Coordinates::new(0.0, 179.0);
+        let b = Coordinates::new(0.0, -179.0);
+        let d = a.distance_km(&b);
+        assert!(approx(d, 222.4, 1.0), "got {d}");
+    }
+}

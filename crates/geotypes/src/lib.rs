@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Core geographic types shared across the hoiho-rs workspace.
+//!
+//! This crate provides the primitive vocabulary of the system:
+//!
+//! - [`Coordinates`] and great-circle distance ([`Coordinates::distance_km`]);
+//! - the speed-of-light-in-fiber RTT model ([`rtt`]) used for the paper's
+//!   *RTT-consistency* predicate (§5.2 of the paper);
+//! - ISO-3166 [`CountryCode`] / [`StateCode`] newtypes, including the
+//!   UK ↔ GB equivalence the paper calls out for `lhr15.uk` hostnames;
+//! - the [`GeohintType`] taxonomy (§2 of the paper);
+//! - [`Location`] records as stored in the reference dictionary.
+//!
+//! Everything here is deliberately free of I/O and of the learning logic so
+//! that every other crate can depend on it without cycles.
+
+pub mod coords;
+pub mod country;
+pub mod hint;
+pub mod location;
+pub mod rtt;
+
+pub use coords::Coordinates;
+pub use country::{CountryCode, StateCode};
+pub use hint::GeohintType;
+pub use location::{Location, LocationId, LocationKind};
+pub use rtt::{best_case_rtt_ms, max_distance_km, Rtt};

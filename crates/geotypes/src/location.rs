@@ -1,0 +1,147 @@
+//! Location records stored in the reference dictionary.
+
+use crate::coords::Coordinates;
+use crate::country::{CountryCode, StateCode};
+use std::fmt;
+
+/// Opaque, dense identifier for a location in a
+/// [`hoiho_geodb`](https://docs.rs)-style dictionary. Index into the
+/// dictionary's location table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocationId(pub u32);
+
+impl fmt::Display for LocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What kind of place a [`Location`] record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocationKind {
+    /// A city or town (GeoNames-style record).
+    City,
+    /// An airport (OurAirports-style record); `name` is the primary city
+    /// served.
+    Airport,
+    /// A colocation facility (PeeringDB-style record).
+    Facility,
+}
+
+/// A geolocated place: the unit of meaning for every geohint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Location {
+    /// Human-readable place name, e.g. `Ashburn`. For airports this is the
+    /// primary city served; for facilities, the facility name.
+    pub name: String,
+    /// ISO-3166-1 country.
+    pub country: CountryCode,
+    /// ISO-3166-2 subdivision where known (US/CA states, GB nations, …).
+    pub state: Option<StateCode>,
+    /// Lat/long.
+    pub coords: Coordinates,
+    /// Population of the city (0 when unknown / not applicable). Used by
+    /// stage 4's candidate ranking, following Lakhina et al.'s observation
+    /// that router deployment correlates with population density.
+    pub population: u64,
+    /// Record kind.
+    pub kind: LocationKind,
+}
+
+impl Location {
+    /// A compact `Name, ST, CC` rendering as used in the paper's figures
+    /// (e.g. `Ashburn, VA, US`).
+    pub fn display_name(&self) -> String {
+        match self.state {
+            Some(st) => format!(
+                "{}, {}, {}",
+                self.name,
+                st.as_str().to_ascii_uppercase(),
+                self.country.as_str().to_ascii_uppercase()
+            ),
+            None => format!(
+                "{}, {}",
+                self.name,
+                self.country.as_str().to_ascii_uppercase()
+            ),
+        }
+    }
+
+    /// The place name lowercased with whitespace and punctuation removed —
+    /// the form it would take inside a hostname (`fort collins` →
+    /// `ftcollins` only after abbreviation; this returns `fortcollins`).
+    pub fn hostname_form(&self) -> String {
+        self.name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+
+    /// Whether `token` matches this location's country or state code,
+    /// honouring the UK/GB alias.
+    pub fn matches_cc_or_state(&self, token: &str) -> bool {
+        if self.country.matches_token(token) {
+            return true;
+        }
+        if let Some(st) = self.state {
+            return st.matches_token(token);
+        }
+        false
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ashburn() -> Location {
+        Location {
+            name: "Ashburn".into(),
+            country: CountryCode::new("us").unwrap(),
+            state: Some(StateCode::new("va").unwrap()),
+            coords: Coordinates::new(39.0438, -77.4874),
+            population: 43_511,
+            kind: LocationKind::City,
+        }
+    }
+
+    #[test]
+    fn display_name_with_state() {
+        assert_eq!(ashburn().display_name(), "Ashburn, VA, US");
+    }
+
+    #[test]
+    fn display_name_without_state() {
+        let mut l = ashburn();
+        l.state = None;
+        assert_eq!(l.display_name(), "Ashburn, US");
+    }
+
+    #[test]
+    fn hostname_form_strips_spaces_and_case() {
+        let mut l = ashburn();
+        l.name = "Fort Collins".into();
+        assert_eq!(l.hostname_form(), "fortcollins");
+        l.name = "Frankfurt am Main".into();
+        assert_eq!(l.hostname_form(), "frankfurtammain");
+    }
+
+    #[test]
+    fn matches_cc_or_state() {
+        let l = ashburn();
+        assert!(l.matches_cc_or_state("us"));
+        assert!(l.matches_cc_or_state("va"));
+        assert!(!l.matches_cc_or_state("de"));
+        let mut gb = ashburn();
+        gb.country = CountryCode::new("gb").unwrap();
+        gb.state = None;
+        assert!(gb.matches_cc_or_state("uk"));
+    }
+}

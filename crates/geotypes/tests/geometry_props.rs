@@ -1,0 +1,84 @@
+//! Property tests on the geographic primitives: the RTT-consistency
+//! machinery is only sound if the underlying geometry is.
+
+use hoiho_geotypes::rtt::{best_case_rtt_ms, max_distance_km, rtt_feasible};
+use hoiho_geotypes::{Coordinates, Rtt};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = Coordinates> {
+    (-89.9f64..89.9, -179.9f64..179.9).prop_map(|(lat, lon)| Coordinates::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Distance is symmetric and non-negative, and zero iff same point.
+    #[test]
+    fn distance_symmetry(a in coord(), b in coord()) {
+        let d1 = a.distance_km(&b);
+        let d2 = b.distance_km(&a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        prop_assert!((a.distance_km(&a)).abs() < 1e-6);
+    }
+
+    /// The triangle inequality holds on the sphere.
+    #[test]
+    fn triangle_inequality(a in coord(), b in coord(), c in coord()) {
+        let ab = a.distance_km(&b);
+        let bc = b.distance_km(&c);
+        let ac = a.distance_km(&c);
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    /// No two points are further apart than half the circumference.
+    #[test]
+    fn distance_bounded_by_antipode(a in coord(), b in coord()) {
+        let half = std::f64::consts::PI * hoiho_geotypes::coords::EARTH_RADIUS_KM;
+        prop_assert!(a.distance_km(&b) <= half + 1e-6);
+    }
+
+    /// best-case RTT and the constraint radius are inverses.
+    #[test]
+    fn rtt_distance_inverse(ms in 0.1f64..400.0) {
+        let rtt = Rtt::from_ms(ms);
+        let d = max_distance_km(rtt);
+        // A point exactly at the constraint radius is feasible; one
+        // comfortably outside is not.
+        let vp = Coordinates::new(0.0, 0.0);
+        let at_edge = Coordinates::new(0.0, d / 111.19);
+        prop_assert!(rtt_feasible(&vp, &at_edge, Rtt::from_ms(ms + 0.1)));
+        let beyond = Coordinates::new(0.0, (d * 1.3) / 111.19);
+        if d * 1.3 < 19_900.0 {
+            prop_assert!(!rtt_feasible(&vp, &beyond, rtt));
+        }
+    }
+
+    /// Feasibility is monotone: a longer measured RTT never shrinks the
+    /// feasible set.
+    #[test]
+    fn feasibility_monotone(vp in coord(), target in coord(), ms in 0.1f64..300.0, extra in 0.0f64..200.0) {
+        if rtt_feasible(&vp, &target, Rtt::from_ms(ms)) {
+            prop_assert!(rtt_feasible(&vp, &target, Rtt::from_ms(ms + extra)));
+        }
+    }
+
+    /// best_case_rtt_ms scales linearly with distance.
+    #[test]
+    fn best_case_proportional_to_distance(a in coord(), b in coord()) {
+        let d = a.distance_km(&b);
+        let rtt = best_case_rtt_ms(&a, &b);
+        prop_assert!((rtt - 2.0 * d / hoiho_geotypes::rtt::C_FIBER_KM_PER_MS).abs() < 1e-9);
+    }
+
+    /// Rtt round-trips through microseconds and orders like f64 ms.
+    #[test]
+    fn rtt_roundtrip_and_order(a in 0.0f64..10_000.0, b in 0.0f64..10_000.0) {
+        let ra = Rtt::from_ms(a);
+        let rb = Rtt::from_ms(b);
+        prop_assert!((ra.as_ms() - a).abs() < 0.001);
+        if (a - b).abs() > 0.002 {
+            prop_assert_eq!(ra < rb, a < b);
+        }
+    }
+}

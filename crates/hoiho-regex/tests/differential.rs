@@ -1,0 +1,132 @@
+//! Differential tests: our engine must agree with the mainstream `regex`
+//! crate on the dialect Hoiho emits (after stripping possessive `++`,
+//! which `regex` does not support — possessiveness can only *reject*
+//! strings greedy matching accepts, so we compare on non-possessive
+//! renderings).
+
+use hoiho_regex::Regex as Hoiho;
+use proptest::prelude::*;
+use regex::Regex as Std;
+
+/// Compare match/captures on one (pattern, subject) pair.
+fn agree(pattern: &str, subject: &str) {
+    let ours = Hoiho::parse(pattern).expect("our parse");
+    let std = Std::new(pattern).expect("std parse");
+    let our_caps = ours.captures(subject).expect("budget");
+    let std_caps = std.captures(subject);
+    match (&our_caps, &std_caps) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "group count mismatch for {pattern} on {subject}"
+            );
+            for i in 0..a.len() {
+                assert_eq!(
+                    a.get(i),
+                    b.get(i).map(|m| m.as_str()),
+                    "group {i} mismatch for {pattern} on {subject}"
+                );
+            }
+        }
+        _ => panic!(
+            "match disagreement for {pattern} on {subject}: ours={:?} std={:?}",
+            our_caps.is_some(),
+            std_caps.is_some()
+        ),
+    }
+}
+
+#[test]
+fn paper_regexes_agree_on_paper_hostnames() {
+    let patterns = [
+        r"^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$",
+        r"^.+\.([a-z]+)\d*\.level3\.net$",
+        r"^.+\.([a-z]{6})\d+\.([a-z]{2})\.[a-z]{2}\.gin\.ntt\.net$",
+        r"^.+\.([a-z]{4})\d+-([a-z]{2})\.([a-z]{2})\.windstream\.net$",
+        r"^[^\.]+\.(\d+[a-z]+)\.([a-z]{2})\.[a-z]+\.comcast\.net$",
+        r"^.+\.([a-z]{3})\d+\.alter\.net$",
+        r"^[^\.]+\.([a-z]+)\d*\.([a-z]{2})\.alter\.net$",
+        r"^\d+\.[a-z]+\d+\.([a-z]{6})[a-z\d]+-[a-z]+\d+-[^\.]+\.alter\.net$",
+    ];
+    let subjects = [
+        "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com",
+        "ae-2-52.edge4.brussels1.level3.net",
+        "xe-0-0-28-0.a02.snjsca04.us.ce.gin.ntt.net",
+        "0.xe-10-0-0.gw1.sfo16.alter.net",
+        "0.ae1.br2.ams3.alter.net",
+        "0.af0.rcmdva83-mse01-a-ie1.alter.net",
+        "gsdr-disy-2.frankfurt.de.alter.net",
+        "be-232-rar01.chicago.il.chicago.comcast.net",
+        "completely-unrelated.example.org",
+        "",
+        "a.b.c.d.e.f.g",
+    ];
+    for p in patterns {
+        for s in subjects {
+            agree(p, s);
+        }
+    }
+}
+
+/// Strategy: generate patterns from the same component vocabulary the
+/// learner uses, so the differential test exercises exactly the emitted
+/// dialect.
+fn component() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(r"[a-z]+".to_string()),
+        Just(r"[a-z]{2}".to_string()),
+        Just(r"[a-z]{3}".to_string()),
+        Just(r"[a-z]{6}".to_string()),
+        Just(r"\d+".to_string()),
+        Just(r"\d*".to_string()),
+        Just(r"[^\.]+".to_string()),
+        Just(r"[a-z\d]+".to_string()),
+        Just(r"([a-z]{3})".to_string()),
+        Just(r"([a-z]+)".to_string()),
+        Just(r"([a-z]{2})".to_string()),
+        "[a-z]{1,4}".prop_map(|s| s), // literal label text
+    ]
+}
+
+fn pattern() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(component(), 1..6),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(comps, lead_anything)| {
+            let mut p = String::from("^");
+            if lead_anything {
+                p.push_str(r".+\.");
+            }
+            p.push_str(&comps.join(r"\."));
+            p.push_str(r"\.example\.net$");
+            p
+        })
+}
+
+fn hostname() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9-]{1,8}", 1..6).prop_map(|labels| {
+        let mut h = labels.join(".");
+        h.push_str(".example.net");
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn differential_on_generated_dialect(p in pattern(), h in hostname()) {
+        agree(&p, &h);
+    }
+
+    #[test]
+    fn roundtrip_parse_render(p in pattern()) {
+        let re = Hoiho::parse(&p).unwrap();
+        let rendered = re.as_pattern();
+        let re2 = Hoiho::parse(&rendered).unwrap();
+        prop_assert_eq!(re, re2);
+    }
+}

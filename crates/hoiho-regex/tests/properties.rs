@@ -1,0 +1,95 @@
+//! Property tests on regex-engine semantics.
+
+use hoiho_regex::Regex;
+use proptest::prelude::*;
+
+/// Arbitrary subjects over the hostname alphabet.
+fn subject() -> impl Strategy<Value = String> {
+    "[a-z0-9.\\-]{0,40}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics on arbitrary ASCII input — it returns
+    /// Ok or a located error.
+    #[test]
+    fn parser_is_total_on_ascii(pattern in "[ -~]{0,48}") {
+        let _ = Regex::parse(&pattern);
+    }
+
+    /// `{n}` repetition is equivalent to writing the class n times.
+    #[test]
+    fn bounded_repeat_equals_concatenation(n in 1usize..6, s in subject()) {
+        let braced = Regex::parse(&format!("^[a-z]{{{n}}}$")).unwrap();
+        let spelled = Regex::parse(&format!("^{}$", "[a-z]".repeat(n))).unwrap();
+        prop_assert_eq!(braced.is_match(&s), spelled.is_match(&s));
+    }
+
+    /// A possessive quantifier accepts a subset of what the greedy one
+    /// accepts.
+    #[test]
+    fn possessive_accepts_subset_of_greedy(s in subject()) {
+        let greedy = Regex::parse(r"^[^\.]+-[a-z]+$").unwrap();
+        let poss = Regex::parse(r"^[^\.]++-[a-z]+$").unwrap();
+        if poss.is_match(&s) {
+            prop_assert!(greedy.is_match(&s), "possessive matched {s:?} but greedy did not");
+        }
+    }
+
+    /// `X?` is equivalent to `X{0,1}`.
+    #[test]
+    fn optional_equals_zero_or_one(s in subject()) {
+        let q = Regex::parse(r"^[a-z]+\d?$").unwrap();
+        let braced = Regex::parse(r"^[a-z]+\d{0,1}$").unwrap();
+        prop_assert_eq!(q.is_match(&s), braced.is_match(&s));
+    }
+
+    /// `X*` accepts exactly `X+` plus the empty contribution.
+    #[test]
+    fn star_is_plus_or_empty(s in subject()) {
+        let star = Regex::parse(r"^a\d*b$").unwrap();
+        let plus = Regex::parse(r"^a\d+b$").unwrap();
+        let none = Regex::parse(r"^ab$").unwrap();
+        prop_assert_eq!(star.is_match(&s), plus.is_match(&s) || none.is_match(&s));
+    }
+
+    /// Parse → render → parse is a fixed point.
+    #[test]
+    fn render_is_fixed_point(pattern in "\\^[a-z.]{0,6}(\\[a-z\\]\\{[1-5]\\})?(\\\\d[+*?]?)?\\$") {
+        if let Ok(re) = Regex::parse(&pattern) {
+            let rendered = re.as_pattern();
+            let re2 = Regex::parse(&rendered).unwrap();
+            prop_assert_eq!(rendered.clone(), re2.as_pattern());
+        }
+    }
+
+    /// Anchored match implies the whole string is consumed: group 0
+    /// spans the entire subject.
+    #[test]
+    fn anchored_match_spans_subject(s in subject()) {
+        let re = Regex::parse(r"^[^\.]+\.([a-z]{3})\d*$").unwrap();
+        if let Ok(Some(caps)) = re.captures(&s) {
+            prop_assert_eq!(caps.span(0), Some((0, s.len())));
+            // Captured groups lie within the subject.
+            if let Some((a, b)) = caps.span(1) {
+                prop_assert!(a <= b && b <= s.len());
+                prop_assert_eq!(b - a, 3);
+            }
+        }
+    }
+
+    /// Matching never errors (budget untouched) on learner-shaped
+    /// patterns over short subjects.
+    #[test]
+    fn no_budget_exhaustion_on_learner_patterns(s in subject()) {
+        for pat in [
+            r"^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$",
+            r"^[^\.]+\.[^\.]+\.([a-z]+)\d*\.example\.net$",
+            r"^\d+\.[a-z]+\d+\.([a-z]{6})[a-z\d]+-[a-z]+\d+-[^\.]+\.alter\.net$",
+        ] {
+            let re = Regex::parse(pat).unwrap();
+            prop_assert!(re.captures(&s).is_ok());
+        }
+    }
+}

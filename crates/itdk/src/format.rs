@@ -1,0 +1,369 @@
+//! Text formats for corpora.
+//!
+//! Two families:
+//!
+//! - **Interop** writers for the real ITDK file shapes: a `.nodes` file
+//!   (`node N1:  10.0.0.1 10.0.0.2`) and a `.dns-names` file
+//!   (`<ip> <hostname>`), so downstream tools expecting CAIDA's layout
+//!   can consume generated corpora.
+//! - A **native** single-file format (`corpus-v1`) that round-trips
+//!   everything including RTT samples and generator ground truth.
+
+use crate::{Corpus, HostnameTruth, Interface, Router, RouterId};
+use hoiho_geotypes::{Coordinates, LocationId, Rtt};
+use hoiho_rtt::{RouterRtts, VpId, VpSet};
+use std::fmt::Write as _;
+
+/// Error from the native-format parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CorpusParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corpus parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CorpusParseError {}
+
+/// Render the ITDK-style `.nodes` file: one line per router listing its
+/// interface addresses.
+pub fn write_nodes(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    for (id, r) in corpus.iter() {
+        let addrs: Vec<&str> = r.interfaces.iter().map(|i| i.addr.as_str()).collect();
+        let _ = writeln!(out, "node N{}:  {}", id.0 + 1, addrs.join(" "));
+    }
+    out
+}
+
+/// Render the ITDK-style `.dns-names` file: `<address> <hostname>` for
+/// every interface that has one.
+pub fn write_dns_names(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    for (_, r) in corpus.iter() {
+        for i in &r.interfaces {
+            if let Some(h) = &i.hostname {
+                let _ = writeln!(out, "{} {}", i.addr, h);
+            }
+        }
+    }
+    out
+}
+
+/// Parse a `.nodes` file into per-router address lists.
+pub fn parse_nodes(text: &str) -> Result<Vec<Vec<String>>, CorpusParseError> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rest = line.strip_prefix("node ").ok_or(CorpusParseError {
+            line: ln + 1,
+            msg: "expected 'node N<id>: ...'".into(),
+        })?;
+        let (_, addrs) = rest.split_once(':').ok_or(CorpusParseError {
+            line: ln + 1,
+            msg: "missing ':'".into(),
+        })?;
+        out.push(addrs.split_whitespace().map(String::from).collect());
+    }
+    Ok(out)
+}
+
+/// Parse a `.dns-names` file into `(address, hostname)` pairs.
+pub fn parse_dns_names(text: &str) -> Result<Vec<(String, String)>, CorpusParseError> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(addr), Some(host)) = (it.next(), it.next()) else {
+            return Err(CorpusParseError {
+                line: ln + 1,
+                msg: "expected '<addr> <hostname>'".into(),
+            });
+        };
+        out.push((addr.to_string(), host.to_string()));
+    }
+    Ok(out)
+}
+
+/// Serialize a corpus (with ground truth) to the native `corpus-v1`
+/// format.
+pub fn write_corpus(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "corpus-v1 {}", corpus.label);
+    for (_, vp) in corpus.vps.iter() {
+        let _ = writeln!(
+            out,
+            "vp {} {:.6} {:.6}",
+            vp.name,
+            vp.coords.lat(),
+            vp.coords.lon()
+        );
+    }
+    for (id, r) in corpus.iter() {
+        let _ = writeln!(out, "node N{} loc={}", id.0, r.location.0);
+        for i in &r.interfaces {
+            match &i.hostname {
+                Some(h) => {
+                    let _ = writeln!(out, "iface {} {}", i.addr, h);
+                }
+                None => {
+                    let _ = writeln!(out, "iface {}", i.addr);
+                }
+            }
+            if let Some(t) = &i.truth {
+                let hint = t.hint.as_deref().unwrap_or("-");
+                let loc = t
+                    .hint_location
+                    .map(|l| l.0.to_string())
+                    .unwrap_or_else(|| "-".into());
+                let _ = writeln!(
+                    out,
+                    "truth {} {} {} {}",
+                    hint,
+                    loc,
+                    if t.stale { "stale" } else { "fresh" },
+                    if t.provider_side { "provider" } else { "own" }
+                );
+            }
+        }
+        let _ = write_rtts(&mut out, "rtt", &r.rtts);
+        let _ = write_rtts(&mut out, "trtt", &r.traceroute_rtts);
+    }
+    out
+}
+
+fn write_rtts(out: &mut String, tag: &str, rtts: &RouterRtts) -> std::fmt::Result {
+    if rtts.is_empty() {
+        return Ok(());
+    }
+    write!(out, "{tag}")?;
+    for (vp, rtt) in rtts.samples() {
+        write!(out, " {}:{}", vp.0, rtt.as_us())?;
+    }
+    writeln!(out)
+}
+
+/// Parse the native `corpus-v1` format.
+pub fn parse_corpus(text: &str) -> Result<Corpus, CorpusParseError> {
+    let err = |line: usize, msg: &str| CorpusParseError {
+        line,
+        msg: msg.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+    let label = header
+        .strip_prefix("corpus-v1")
+        .ok_or_else(|| err(1, "missing corpus-v1 header"))?
+        .trim()
+        .to_string();
+
+    let mut corpus = Corpus {
+        routers: Vec::new(),
+        vps: VpSet::new(),
+        label,
+    };
+
+    for (ln0, line) in lines {
+        let ln = ln0 + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next().expect("nonempty line") {
+            "vp" => {
+                let name = parts.next().ok_or_else(|| err(ln, "vp: missing name"))?;
+                let lat: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "vp: bad latitude"))?;
+                let lon: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln, "vp: bad longitude"))?;
+                corpus.vps.add(name, Coordinates::new(lat, lon));
+            }
+            "node" => {
+                let _id = parts.next().ok_or_else(|| err(ln, "node: missing id"))?;
+                let loc = parts
+                    .next()
+                    .and_then(|s| s.strip_prefix("loc="))
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .ok_or_else(|| err(ln, "node: bad loc="))?;
+                corpus.routers.push(Router {
+                    location: LocationId(loc),
+                    interfaces: Vec::new(),
+                    rtts: RouterRtts::new(),
+                    traceroute_rtts: RouterRtts::new(),
+                });
+            }
+            "iface" => {
+                let r = corpus
+                    .routers
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "iface before node"))?;
+                let addr = parts.next().ok_or_else(|| err(ln, "iface: missing addr"))?;
+                let hostname = parts.next().map(String::from);
+                r.interfaces.push(Interface {
+                    addr: addr.to_string(),
+                    hostname,
+                    truth: None,
+                });
+            }
+            "truth" => {
+                let r = corpus
+                    .routers
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "truth before node"))?;
+                let i = r
+                    .interfaces
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "truth before iface"))?;
+                let hint = parts.next().ok_or_else(|| err(ln, "truth: missing hint"))?;
+                let loc = parts.next().ok_or_else(|| err(ln, "truth: missing loc"))?;
+                let stale = parts
+                    .next()
+                    .ok_or_else(|| err(ln, "truth: missing stale"))?;
+                let prov = parts
+                    .next()
+                    .ok_or_else(|| err(ln, "truth: missing provider"))?;
+                i.truth = Some(HostnameTruth {
+                    hint: (hint != "-").then(|| hint.to_string()),
+                    hint_location: if loc == "-" {
+                        None
+                    } else {
+                        Some(LocationId(
+                            loc.parse().map_err(|_| err(ln, "truth: bad location id"))?,
+                        ))
+                    },
+                    stale: stale == "stale",
+                    provider_side: prov == "provider",
+                });
+            }
+            tag @ ("rtt" | "trtt") => {
+                let r = corpus
+                    .routers
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "rtt before node"))?;
+                let target = if tag == "rtt" {
+                    &mut r.rtts
+                } else {
+                    &mut r.traceroute_rtts
+                };
+                for tok in parts {
+                    let (vp, us) = tok
+                        .split_once(':')
+                        .ok_or_else(|| err(ln, "rtt: expected vp:us"))?;
+                    let vp: u16 = vp.parse().map_err(|_| err(ln, "rtt: bad vp"))?;
+                    let us: u64 = us.parse().map_err(|_| err(ln, "rtt: bad us"))?;
+                    target.record(VpId(vp), Rtt::from_us(us));
+                }
+            }
+            other => return Err(err(ln, &format!("unknown record '{other}'"))),
+        }
+    }
+    Ok(corpus)
+}
+
+/// Convenience: the router ids in a corpus (used by format tests).
+pub fn router_ids(corpus: &Corpus) -> Vec<RouterId> {
+    (0..corpus.len() as u32).map(RouterId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CorpusSpec;
+    use hoiho_geodb::GeoDb;
+
+    fn sample() -> Corpus {
+        let db = GeoDb::builtin();
+        let spec = CorpusSpec {
+            label: "fmt-test".into(),
+            seed: 5,
+            operators: 6,
+            routers: 120,
+            geo_operator_fraction: 0.7,
+            sloppy_operator_fraction: 0.0,
+            hostname_rate: 0.8,
+            rtt_response_rate: 0.9,
+            vps: 8,
+            custom_hint_operator_fraction: 0.5,
+            custom_hint_rate: 0.25,
+            stale_fraction: 0.02,
+            provider_side_fraction: 0.02,
+            ipv6: false,
+        };
+        crate::generate(&db, &spec).corpus
+    }
+
+    #[test]
+    fn native_roundtrip_preserves_everything() {
+        let c = sample();
+        let text = write_corpus(&c);
+        let back = parse_corpus(&text).expect("parse");
+        assert_eq!(back.label, c.label);
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.vps.len(), c.vps.len());
+        for (a, b) in c.routers.iter().zip(back.routers.iter()) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.rtts, b.rtts);
+            assert_eq!(a.traceroute_rtts, b.traceroute_rtts);
+            assert_eq!(a.interfaces.len(), b.interfaces.len());
+            for (ia, ib) in a.interfaces.iter().zip(b.interfaces.iter()) {
+                assert_eq!(ia.addr, ib.addr);
+                assert_eq!(ia.hostname, ib.hostname);
+                assert_eq!(ia.truth, ib.truth);
+            }
+        }
+    }
+
+    #[test]
+    fn itdk_nodes_roundtrip() {
+        let c = sample();
+        let text = write_nodes(&c);
+        let nodes = parse_nodes(&text).expect("parse");
+        assert_eq!(nodes.len(), c.len());
+        assert_eq!(nodes[0].len(), c.routers[0].interfaces.len());
+    }
+
+    #[test]
+    fn itdk_dns_names_roundtrip() {
+        let c = sample();
+        let text = write_dns_names(&c);
+        let pairs = parse_dns_names(&text).expect("parse");
+        let expected: usize = c.routers.iter().map(|r| r.hostnames().count()).sum();
+        assert_eq!(pairs.len(), expected);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        assert!(parse_corpus("").is_err());
+        assert!(parse_corpus("bogus-header\n").is_err());
+        let e = parse_corpus("corpus-v1 x\niface 1.2.3.4\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_corpus("corpus-v1 x\nnode N0 loc=zzz\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_corpus("corpus-v1 x\nwhatisthis\n").unwrap_err();
+        assert!(e.msg.contains("unknown record"));
+    }
+
+    #[test]
+    fn nodes_parser_rejects_garbage() {
+        assert!(parse_nodes("nonsense line\n").is_err());
+        assert!(parse_nodes("node N1  10.0.0.1\n").is_err()); // missing ':'
+        assert_eq!(parse_nodes("# comment\n\n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Rendering hostnames from operator layouts.
+//!
+//! Each operator draws its role words, interface-token styles and
+//! free-word vocabulary once ([`NameCtx`]), so hostnames within a suffix
+//! share the structure a learner can discover, while suffixes differ
+//! from one another.
+
+use crate::spec::{DigitMode, Layout, Pop, Seg, Sep};
+use hoiho_geodb::GeoDb;
+use hoiho_geotypes::LocationId;
+use rand::Rng;
+
+/// Per-operator naming vocabulary.
+#[derive(Debug, Clone)]
+pub struct NameCtx {
+    /// Role words this operator uses (`cr`, `edge`, …).
+    pub role_words: Vec<&'static str>,
+    /// Whether the operator writes `uk` for GB (the zayo quirk).
+    pub uk_alias: bool,
+    /// Free words (customers, peers) for interconnection slots.
+    pub free_words: Vec<String>,
+}
+
+const ROLE_POOLS: &[&[&str]] = &[
+    &["cr", "br"],
+    &["core", "edge"],
+    &["gw", "ar"],
+    &["rtr"],
+    &["bcr", "mse"],
+    &["r", "a"],
+    &["agr"],
+];
+
+const IFACE_STYLES: &[&str] = &[
+    "xe-%-%-%",
+    "ae%",
+    "ge-%-%",
+    "et-%-%-%",
+    "hundredgige%-%-%",
+    "100ge%-%",
+    "so-%-%-%",
+    "be-%%%",
+    "eth%",
+    "gig%-%",
+    "po%",
+    "0",
+];
+
+const FREE_WORDS: &[&str] = &[
+    "transit",
+    "peering",
+    "customer",
+    "acme",
+    "globex",
+    "initech",
+    "umbrella",
+    "hooli",
+    "vandelay",
+    "wonka",
+    "stark",
+    "wayne",
+    "tyrell",
+    "cyberdyne",
+    "aperture",
+    "massive",
+    "dynamic",
+    "oceanic",
+    "virtucon",
+    "soylent",
+];
+
+impl NameCtx {
+    /// Draw a vocabulary for one operator.
+    pub fn draw<R: Rng + ?Sized>(rng: &mut R) -> NameCtx {
+        let pool = ROLE_POOLS[rng.random_range(0..ROLE_POOLS.len())];
+        let mut free_words = Vec::new();
+        for _ in 0..4 {
+            free_words.push(FREE_WORDS[rng.random_range(0..FREE_WORDS.len())].to_string());
+        }
+        NameCtx {
+            role_words: pool.to_vec(),
+            uk_alias: rng.random::<f64>() < 0.5,
+            free_words,
+        }
+    }
+
+    fn role<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let w = self.role_words[rng.random_range(0..self.role_words.len())];
+        format!("{w}{}", rng.random_range(1..10u8))
+    }
+
+    fn iface<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let style = IFACE_STYLES[rng.random_range(0..IFACE_STYLES.len())];
+        style
+            .chars()
+            .map(|c| {
+                if c == '%' {
+                    char::from_digit(rng.random_range(0..10u32), 10).expect("digit")
+                } else {
+                    c
+                }
+            })
+            .collect()
+    }
+
+    fn free_word<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let w = &self.free_words[rng.random_range(0..self.free_words.len())];
+        if rng.random::<f64>() < 0.3 {
+            format!("{w}{}", rng.random_range(1..1000u16))
+        } else {
+            w.clone()
+        }
+    }
+}
+
+/// Render one hostname for `pop` under `layout`, without the suffix.
+/// `hint_override` substitutes a different hint token (stale hostnames).
+pub fn render_prefix<R: Rng + ?Sized>(
+    layout: &Layout,
+    ctx: &NameCtx,
+    db: &GeoDb,
+    pop: &Pop,
+    hint_override: Option<&str>,
+    rng: &mut R,
+) -> String {
+    let hint = hint_override.unwrap_or(&pop.hint);
+    let split = layout
+        .segs
+        .iter()
+        .any(|(s, _)| matches!(s, Seg::SplitState));
+    let mut out = String::new();
+    for (seg, sep) in &layout.segs {
+        let text = match seg {
+            Seg::Iface => ctx.iface(rng),
+            Seg::Role => ctx.role(rng),
+            Seg::Hint => {
+                if split && hint.len() >= 6 {
+                    hint[..4].to_string()
+                } else {
+                    hint.to_string()
+                }
+            }
+            Seg::HintDigits(mode) => {
+                let render = match mode {
+                    DigitMode::Always => true,
+                    DigitMode::Sometimes => rng.random::<f64>() < 0.5,
+                };
+                if render {
+                    format!("{}", rng.random_range(1..100u8))
+                } else {
+                    String::new()
+                }
+            }
+            Seg::SplitState => {
+                if hint.len() >= 6 {
+                    hint[4..6].to_string()
+                } else {
+                    String::new()
+                }
+            }
+            Seg::Cc => cc_token(db, pop.location, ctx.uk_alias),
+            Seg::State => state_token(db, pop.location),
+            Seg::Static(s) => s.clone(),
+            Seg::Vocab(v) => v[rng.random_range(0..v.len())].clone(),
+            Seg::FreeWord => ctx.free_word(rng),
+        };
+        if text.is_empty() {
+            // Optional digits rendered empty: keep the separator that
+            // would have followed them.
+            if *sep != Sep::Glue && !out.is_empty() && !out.ends_with('.') && !out.ends_with('-') {
+                out.push(sep_char(*sep));
+            }
+            continue;
+        }
+        out.push_str(&text);
+        if *sep != Sep::Glue {
+            out.push(sep_char(*sep));
+        }
+    }
+    // The final separator position joins the suffix: normalise to a dot.
+    while out.ends_with('.') || out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// Render a non-conforming legacy hostname prefix.
+pub fn render_inconsistent<R: Rng + ?Sized>(ctx: &NameCtx, rng: &mut R) -> String {
+    match rng.random_range(0..3u8) {
+        0 => format!(
+            "static-{}-{}",
+            rng.random_range(0..256u16),
+            rng.random_range(0..256u16)
+        ),
+        1 => format!("{}.legacy", ctx.free_word(rng)),
+        _ => format!("unknown{}", rng.random_range(0..10_000u16)),
+    }
+}
+
+fn sep_char(s: Sep) -> char {
+    match s {
+        Sep::Dot => '.',
+        Sep::Dash => '-',
+        // Glue never reaches here: callers skip the separator entirely.
+        Sep::Glue => unreachable!("glue separator is never rendered"),
+    }
+}
+
+fn cc_token(db: &GeoDb, loc: LocationId, uk_alias: bool) -> String {
+    let cc = db.location(loc).country.as_str().to_string();
+    if uk_alias && cc == "gb" {
+        "uk".to_string()
+    } else {
+        cc
+    }
+}
+
+fn state_token(db: &GeoDb, loc: LocationId) -> String {
+    let l = db.location(loc);
+    match l.state {
+        Some(st) => st.as_str().to_string(),
+        None => l.country.as_str().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Layout, NamingStyle};
+    use hoiho_geotypes::GeohintType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> GeoDb {
+        GeoDb::builtin()
+    }
+
+    fn pop_for(db: &GeoDb, token: &str, ty: GeohintType, hint: &str) -> Pop {
+        // Prefer the most populous match so ambiguous city names (e.g.
+        // "london") resolve to the famous one.
+        let id = db
+            .lookup(token)
+            .into_iter()
+            .filter(|h| h.hint_type == ty)
+            .max_by_key(|h| db.location(h.location).population)
+            .unwrap()
+            .location;
+        Pop {
+            location: id,
+            hint: hint.to_string(),
+            custom: false,
+        }
+    }
+
+    #[test]
+    fn iata_layout_renders_hint_and_digits() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ctx = NameCtx::draw(&mut rng);
+        let layout = &Layout::variants(NamingStyle::Iata)[0];
+        let pop = pop_for(&db, "london", GeohintType::CityName, "lhr");
+        for _ in 0..20 {
+            let h = render_prefix(layout, &ctx, &db, &pop, None, &mut rng);
+            assert!(h.contains("lhr"), "{h}");
+            // hint digits glued: lhr<digits>
+            let idx = h.find("lhr").unwrap();
+            let after = &h[idx + 3..idx + 4];
+            assert!(after.chars().all(|c| c.is_ascii_digit()), "{h}");
+            assert!(!h.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn split_clli_layout_splits_four_two() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ctx = NameCtx::draw(&mut rng);
+        let layout = &Layout::variants(NamingStyle::ClliSplit)[0];
+        let pop = pop_for(&db, "mtgmal", GeohintType::Clli, "mtgmal");
+        let h = render_prefix(layout, &ctx, &db, &pop, None, &mut rng);
+        assert!(h.contains("mtgm"), "{h}");
+        assert!(h.contains("-al") || h.ends_with("al"), "{h}");
+        assert!(!h.contains("mtgmal"), "must be split: {h}");
+    }
+
+    #[test]
+    fn uk_alias_respected() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ctx = NameCtx::draw(&mut rng);
+        ctx.uk_alias = true;
+        let layout = &Layout::variants(NamingStyle::Iata)[1]; // has Cc
+        let pop = pop_for(&db, "london", GeohintType::CityName, "lhr");
+        let h = render_prefix(layout, &ctx, &db, &pop, None, &mut rng);
+        assert!(h.contains(".uk"), "{h}");
+        ctx.uk_alias = false;
+        let h = render_prefix(layout, &ctx, &db, &pop, None, &mut rng);
+        assert!(h.contains(".gb"), "{h}");
+    }
+
+    #[test]
+    fn hint_override_replaces_token() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ctx = NameCtx::draw(&mut rng);
+        let layout = &Layout::variants(NamingStyle::Iata)[0];
+        let pop = pop_for(&db, "london", GeohintType::CityName, "lhr");
+        let h = render_prefix(layout, &ctx, &db, &pop, Some("ams"), &mut rng);
+        assert!(h.contains("ams"), "{h}");
+        assert!(!h.contains("lhr"), "{h}");
+    }
+
+    #[test]
+    fn optional_digits_sometimes_absent() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ctx = NameCtx::draw(&mut rng);
+        let layout = &Layout::variants(NamingStyle::CityName)[0]; // Sometimes digits
+        let pop = pop_for(&db, "brussels", GeohintType::CityName, "brussels");
+        let mut with = 0;
+        let mut without = 0;
+        for _ in 0..60 {
+            let h = render_prefix(layout, &ctx, &db, &pop, None, &mut rng);
+            let idx = h.find("brussels").unwrap() + "brussels".len();
+            if h[idx..].starts_with(|c: char| c.is_ascii_digit()) {
+                with += 1;
+            } else {
+                without += 1;
+            }
+        }
+        assert!(with > 5 && without > 5, "with={with} without={without}");
+    }
+
+    #[test]
+    fn inconsistent_names_have_no_layout() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ctx = NameCtx::draw(&mut rng);
+        for _ in 0..10 {
+            let h = render_inconsistent(&ctx, &mut rng);
+            assert!(!h.is_empty());
+            assert!(!h.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn state_token_falls_back_to_country() {
+        let db = db();
+        let ams = db
+            .lookup("amsterdam")
+            .into_iter()
+            .find(|h| h.hint_type == GeohintType::CityName)
+            .unwrap()
+            .location;
+        assert_eq!(state_token(&db, ams), "nl");
+    }
+}

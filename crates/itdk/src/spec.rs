@@ -1,0 +1,591 @@
+//! Operator naming-convention models and corpus parameters.
+//!
+//! Every suffix in a corpus belongs to an *operator* with a fixed
+//! hostname layout. The layout is what Hoiho must learn; the operator's
+//! hint table (including any custom hints) is the ground truth that the
+//! learned geohints are validated against (table 6 of the paper).
+
+use hoiho_geodb::GeoDb;
+use hoiho_geotypes::{GeohintType, LocationId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The dictionary style an operator embeds (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamingStyle {
+    /// 3-letter IATA codes (`lhr15`), the most common style.
+    Iata,
+    /// 6-letter CLLI prefixes (`snjsca04`).
+    Clli,
+    /// CLLI prefix split into 4+2 components (`mtgm01-al`, fig 6e).
+    ClliSplit,
+    /// Spelled-out city names (`brussels1`).
+    CityName,
+    /// 5-letter UN/LOCODEs (`usqas`).
+    Locode,
+    /// Facility street-address tokens (`1118thave`, fig 6f).
+    Facility,
+    /// Hostnames with no geographic content (control operators; their
+    /// tokens still include IATA-colliding vocabulary like `gig`, `eth`,
+    /// `cpe`).
+    NoGeo,
+}
+
+impl NamingStyle {
+    /// The geohint dictionary this style draws from (`None` for NoGeo).
+    pub fn hint_type(&self) -> Option<GeohintType> {
+        match self {
+            NamingStyle::Iata => Some(GeohintType::Iata),
+            NamingStyle::Clli | NamingStyle::ClliSplit => Some(GeohintType::Clli),
+            NamingStyle::CityName => Some(GeohintType::CityName),
+            NamingStyle::Locode => Some(GeohintType::Locode),
+            NamingStyle::Facility => Some(GeohintType::Facility),
+            NamingStyle::NoGeo => None,
+        }
+    }
+}
+
+/// How the layout separates a segment from the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sep {
+    /// `.` — a DNS label boundary.
+    Dot,
+    /// `-` — within a label.
+    Dash,
+    /// Concatenated with no separator (e.g. hint digits: `lhr15`).
+    Glue,
+}
+
+/// One structural element of a hostname layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Seg {
+    /// An interface token (`xe-0-0-1`, `ae2`, `eth0`, `hundredgige0-3`).
+    Iface,
+    /// A router-role token with a digit (`cr1`, `core2`, `gw3`).
+    Role,
+    /// The geohint token itself.
+    Hint,
+    /// Digits glued to the hint (`lhr15`): `Always` renders 1–2 digits,
+    /// `Sometimes` renders them on ~half of hostnames — exercising the
+    /// learner's `\d+` → `\d*` merge phase.
+    HintDigits(DigitMode),
+    /// The 4-letter half of a split CLLI prefix is the hint; this is the
+    /// trailing 2-letter state half (`-al`).
+    SplitState,
+    /// An ISO country-code label (`uk`, `de`).
+    Cc,
+    /// A state-code label (`va`, `tx`).
+    State,
+    /// A fixed token that never varies for this operator (`bb`, `zip`).
+    Static(String),
+    /// A small closed vocabulary token (the `bb`/`ce`/`ra` slot in
+    /// NTT's convention).
+    Vocab(Vec<String>),
+    /// An unconstrained word (customer names on interconnection links).
+    FreeWord,
+}
+
+/// Digit-suffix behaviour for [`Seg::HintDigits`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DigitMode {
+    /// Always present.
+    Always,
+    /// Present on roughly half of hostnames.
+    Sometimes,
+}
+
+/// A full hostname layout: segments with the separator *after* each
+/// (the suffix follows the final Dot implicitly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `(segment, separator after it)` — the last separator joins to the
+    /// operator suffix and must be [`Sep::Dot`].
+    pub segs: Vec<(Seg, Sep)>,
+}
+
+impl Layout {
+    /// Stock layouts for a style; the generator picks one per operator.
+    pub fn variants(style: NamingStyle) -> Vec<Layout> {
+        use DigitMode::*;
+        use Seg::*;
+        use Sep::*;
+        let l = |segs: Vec<(Seg, Sep)>| Layout { segs };
+        match style {
+            NamingStyle::Iata => vec![
+                // xe-0-0-1.cr1.lhr15.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dot),
+                ]),
+                // zayo-style: word.mpr1.lhr15.uk.zip.example.net
+                l(vec![
+                    (FreeWord, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dot),
+                    (Cc, Dot),
+                    (Static("zip".into()), Dot),
+                ]),
+                // he.net-style: 100ge1-2.core1.ash1.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Sometimes), Dot),
+                ]),
+                // peak-style: eug-core-r1.example.org
+                l(vec![
+                    (Hint, Dash),
+                    (Static("core".into()), Dash),
+                    (Role, Dot),
+                ]),
+                // with state: xe-1-2.gw2.sea3.wa.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dot),
+                    (State, Dot),
+                ]),
+            ],
+            NamingStyle::Clli => vec![
+                // ntt-style: xe-0-0-28-0.a02.snjsca04.us.bb.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dot),
+                    (Cc, Dot),
+                    (Vocab(vec!["bb".into(), "ce".into(), "ra".into()]), Dot),
+                ]),
+                // alter-style: 0.af0.rcmdva83-mse01-a-ie1.example.net
+                l(vec![
+                    (Static("0".into()), Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dash),
+                    (Static("mse01".into()), Dash),
+                    (FreeWord, Dot),
+                ]),
+                // plain: cr2.asbnva.example.net
+                l(vec![(Role, Dot), (Hint, Dot)]),
+            ],
+            NamingStyle::ClliSplit => vec![
+                // windstream-style: ae2-0.agr02-mtgm01-al.tx.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dash),
+                    (Hint, Glue),
+                    (HintDigits(Always), Dash),
+                    (SplitState, Dot),
+                ]),
+            ],
+            NamingStyle::CityName => vec![
+                // level3-style: ae-2-52.edge4.brussels1.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Glue),
+                    (HintDigits(Sometimes), Dot),
+                ]),
+                // alter-city-style: gw-word.frankfurt.de.example.net
+                l(vec![(FreeWord, Dot), (Hint, Dot), (Cc, Dot)]),
+                // bare: core1.washington.example.net
+                l(vec![(Role, Dot), (Hint, Dot)]),
+            ],
+            NamingStyle::Locode => vec![
+                // i3d-style: 23.ae0.car1.usqas.ip.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Role, Dot),
+                    (Hint, Dot),
+                    (Static("ip".into()), Dot),
+                ]),
+                l(vec![(Role, Dot), (Hint, Dot)]),
+            ],
+            NamingStyle::Facility => vec![
+                // comcast-style: be-232.1118thave.ny.region.example.net
+                l(vec![
+                    (Iface, Dot),
+                    (Hint, Dot),
+                    (State, Dot),
+                    (Static("ibone".into()), Dot),
+                ]),
+            ],
+            NamingStyle::NoGeo => vec![
+                // static-style customer names: gig1-2.cust1042.example.net
+                l(vec![(Iface, Dot), (FreeWord, Dot)]),
+                l(vec![(FreeWord, Dot), (Role, Dot)]),
+            ],
+        }
+    }
+}
+
+/// One point of presence: where the operator has routers and what hint
+/// token its hostnames use for that place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pop {
+    /// The city.
+    pub location: LocationId,
+    /// The hint token embedded in hostnames (`lhr`, `asbnva`, `ash`).
+    pub hint: String,
+    /// True when the token is the operator's own invention or
+    /// repurposing, i.e. *not* what the reference dictionary says for
+    /// this location (what stage 4 must learn).
+    pub custom: bool,
+}
+
+/// A fully-specified operator.
+#[derive(Debug, Clone)]
+pub struct OperatorSpec {
+    /// Registerable suffix, e.g. `gtt.net`.
+    pub suffix: String,
+    /// The dictionary style.
+    pub style: NamingStyle,
+    /// The hostname layout all conforming hostnames follow.
+    pub layout: Layout,
+    /// Points of presence.
+    pub pops: Vec<Pop>,
+    /// Number of routers to generate.
+    pub router_count: usize,
+    /// Fraction of interfaces that get hostnames.
+    pub hostname_rate: f64,
+    /// Fraction of hostnames that are stale (hint names another PoP).
+    pub stale_fraction: f64,
+    /// Fraction of hostnames that ignore the layout entirely
+    /// (free-form legacy names).
+    pub inconsistent_fraction: f64,
+}
+
+impl OperatorSpec {
+    /// The operator's hint dictionary: token → meaning.
+    pub fn hint_table(&self) -> HashMap<String, LocationId> {
+        self.pops
+            .iter()
+            .map(|p| (p.hint.clone(), p.location))
+            .collect()
+    }
+
+    /// The custom (learnable) hints only.
+    pub fn custom_hints(&self) -> Vec<&Pop> {
+        self.pops.iter().filter(|p| p.custom).collect()
+    }
+}
+
+/// Parameters for generating one corpus (one "ITDK").
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Corpus label (`ipv4-aug2020`).
+    pub label: String,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Number of operators (suffixes).
+    pub operators: usize,
+    /// Total router budget, split across operators Zipf-style.
+    pub routers: usize,
+    /// Fraction of operators that embed geohints at all.
+    pub geo_operator_fraction: f64,
+    /// Fraction of geo operators that are *sloppy* — legacy names,
+    /// half-migrated conventions — whose suffixes show apparent
+    /// geohints but rarely yield a usable NC (the paper's ~50% "poor").
+    pub sloppy_operator_fraction: f64,
+    /// Fraction of interfaces given hostnames (≈0.55 IPv4, ≈0.16 IPv6).
+    pub hostname_rate: f64,
+    /// Fraction of routers responsive to ping (≈0.82 IPv4, ≈0.46 IPv6).
+    pub rtt_response_rate: f64,
+    /// Number of vantage points (≈106 IPv4 Aug'20, ≈46 IPv6 Nov'20).
+    pub vps: usize,
+    /// Fraction of IATA/CLLI operators that invent at least one custom
+    /// hint (paper: 38.2% of IATA regexes had one).
+    pub custom_hint_operator_fraction: f64,
+    /// Per-PoP probability of a custom hint within such an operator.
+    pub custom_hint_rate: f64,
+    /// Fraction of hostnames that are stale (paper cites 0.5%).
+    pub stale_fraction: f64,
+    /// Fraction of routers given an extra provider-side interconnection
+    /// hostname under a transit operator's suffix (fig 3b).
+    pub provider_side_fraction: f64,
+    /// True to generate IPv6 addressing.
+    pub ipv6: bool,
+}
+
+impl CorpusSpec {
+    /// Preset mirroring the August 2020 IPv4 ITDK at `scale` routers
+    /// (the paper used 2.56M; benches default far smaller).
+    pub fn ipv4_aug2020(scale: usize) -> CorpusSpec {
+        CorpusSpec {
+            label: "ipv4-aug2020".into(),
+            seed: 0x2020_08,
+            operators: (scale / 55).clamp(30, 4000),
+            routers: scale,
+            geo_operator_fraction: 0.22,
+            sloppy_operator_fraction: 0.48,
+            hostname_rate: 0.55,
+            rtt_response_rate: 0.82,
+            vps: 106,
+            custom_hint_operator_fraction: 0.38,
+            custom_hint_rate: 0.18,
+            stale_fraction: 0.005,
+            provider_side_fraction: 0.01,
+            ipv6: false,
+        }
+    }
+
+    /// Preset mirroring the March 2021 IPv4 ITDK.
+    pub fn ipv4_mar2021(scale: usize) -> CorpusSpec {
+        CorpusSpec {
+            label: "ipv4-mar2021".into(),
+            seed: 0x2021_03,
+            hostname_rate: 0.541,
+            vps: 100,
+            ..CorpusSpec::ipv4_aug2020(scale)
+        }
+    }
+
+    /// Preset mirroring the November 2020 IPv6 ITDK.
+    pub fn ipv6_nov2020(scale: usize) -> CorpusSpec {
+        CorpusSpec {
+            label: "ipv6-nov2020".into(),
+            seed: 0x2020_11,
+            operators: (scale / 70).clamp(15, 1500),
+            routers: scale,
+            geo_operator_fraction: 0.48,
+            sloppy_operator_fraction: 0.40,
+            hostname_rate: 0.151,
+            rtt_response_rate: 0.473,
+            vps: 46,
+            custom_hint_operator_fraction: 0.30,
+            custom_hint_rate: 0.15,
+            stale_fraction: 0.005,
+            provider_side_fraction: 0.01,
+            ipv6: true,
+        }
+    }
+
+    /// Preset mirroring the March 2021 IPv6 ITDK.
+    pub fn ipv6_mar2021(scale: usize) -> CorpusSpec {
+        CorpusSpec {
+            label: "ipv6-mar2021".into(),
+            seed: 0x2021_63,
+            hostname_rate: 0.16,
+            rtt_response_rate: 0.452,
+            vps: 39,
+            ..CorpusSpec::ipv6_nov2020(scale)
+        }
+    }
+}
+
+/// Derive a plausible custom hint of the style's width for a city the
+/// operator refuses to (or cannot) name from the dictionary. The result
+/// is always an abbreviation of the place name under the §5.4 rules, so
+/// a correct learner can recover it.
+pub fn custom_hint_for<R: Rng + ?Sized>(
+    db: &GeoDb,
+    style: NamingStyle,
+    loc: LocationId,
+    rng: &mut R,
+) -> Option<String> {
+    let l = db.location(loc);
+    let form = l.hostname_form();
+    if form.is_empty() {
+        return None;
+    }
+    let first = &form[..1];
+    let consonants: String = form
+        .chars()
+        .skip(1)
+        .filter(|c| !"aeiou".contains(*c))
+        .collect();
+    let head3 = if form.len() >= 3 { &form[..3] } else { "" };
+    let c3 = if consonants.len() >= 2 {
+        format!("{first}{}", &consonants[..2])
+    } else {
+        String::new()
+    };
+    match style {
+        NamingStyle::Iata => {
+            // Either the head of the name ("ash", "tor") or
+            // first-plus-consonants ("ldn"-ish shapes) — but only forms
+            // a correct learner could recover, i.e. valid abbreviations
+            // under the §5.4 rules.
+            let mut cands: Vec<String> = [head3.to_string(), c3]
+                .into_iter()
+                .filter(|c| {
+                    c.len() == 3 && hoiho_geodb::is_abbreviation(c, &l.name, &Default::default())
+                })
+                .collect();
+            cands.dedup();
+            if cands.is_empty() {
+                None
+            } else {
+                let i = rng.random_range(0..cands.len());
+                Some(cands.swap_remove(i))
+            }
+        }
+        NamingStyle::Clli | NamingStyle::ClliSplit => {
+            // Invented 6-char code: 4 letters of the name + region, like
+            // NTT's "mlanit".
+            let four = if form.len() >= 4 {
+                form[..4].to_string()
+            } else {
+                format!("{form:x<4}")
+            };
+            if !hoiho_geodb::is_abbreviation(&four, &l.name, &Default::default()) {
+                return None;
+            }
+            let region = hoiho_geodb::builder::clli_region(l);
+            Some(format!("{four}{region}"))
+        }
+        NamingStyle::Locode => {
+            let tail = [head3.to_string(), c3].into_iter().find(|c| {
+                c.len() == 3 && hoiho_geodb::is_abbreviation(c, &l.name, &Default::default())
+            })?;
+            Some(format!("{}{}", l.country.as_str(), tail))
+        }
+        NamingStyle::CityName => {
+            // Abbreviated spelled name with a ≥4-character contiguous
+            // run, like "ftcollins" for Fort Collins: first letter of
+            // the first word plus the whole last word, or for one-word
+            // names the first letter plus the 5-character tail
+            // ("wngton" for Washington).
+            let words: Vec<&str> = l
+                .name
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|w| !w.is_empty())
+                .collect();
+            if words.len() >= 2 {
+                let last: String = words
+                    .last()
+                    .expect("nonempty")
+                    .chars()
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect();
+                Some(format!("{first}{last}"))
+            } else if form.len() > 6 {
+                Some(format!("{first}{}", &form[form.len() - 5..]))
+            } else {
+                Some(form)
+            }
+        }
+        NamingStyle::Facility | NamingStyle::NoGeo => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layouts_exist_for_all_styles() {
+        for style in [
+            NamingStyle::Iata,
+            NamingStyle::Clli,
+            NamingStyle::ClliSplit,
+            NamingStyle::CityName,
+            NamingStyle::Locode,
+            NamingStyle::Facility,
+            NamingStyle::NoGeo,
+        ] {
+            assert!(!Layout::variants(style).is_empty());
+        }
+    }
+
+    #[test]
+    fn every_geo_layout_contains_a_hint_segment() {
+        for style in [
+            NamingStyle::Iata,
+            NamingStyle::Clli,
+            NamingStyle::ClliSplit,
+            NamingStyle::CityName,
+            NamingStyle::Locode,
+            NamingStyle::Facility,
+        ] {
+            for layout in Layout::variants(style) {
+                assert!(
+                    layout.segs.iter().any(|(s, _)| matches!(s, Seg::Hint)),
+                    "{style:?} layout missing hint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_hints_are_abbreviations() {
+        let db = GeoDb::builtin();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut checked = 0;
+        for (id, l) in db.iter() {
+            if l.kind != hoiho_geotypes::LocationKind::City || l.name.len() < 4 {
+                continue;
+            }
+            if let Some(h) = custom_hint_for(&db, NamingStyle::Iata, id, &mut rng) {
+                assert_eq!(h.len(), 3, "{} -> {h}", l.name);
+                assert!(
+                    hoiho_geodb::is_abbreviation(&h, &l.name, &Default::default()),
+                    "{h} should abbreviate {}",
+                    l.name
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn custom_clli_has_width_six() {
+        let db = GeoDb::builtin();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ash = db
+            .lookup("ashburn")
+            .into_iter()
+            .find(|h| h.hint_type == GeohintType::CityName)
+            .unwrap()
+            .location;
+        let hint = custom_hint_for(&db, NamingStyle::Clli, ash, &mut rng).unwrap();
+        assert_eq!(hint.len(), 6);
+        assert!(hint.starts_with("ashb"));
+    }
+
+    #[test]
+    fn presets_have_sane_rates() {
+        let v4 = CorpusSpec::ipv4_aug2020(10_000);
+        assert!(v4.hostname_rate > 0.5);
+        assert!(!v4.ipv6);
+        let v6 = CorpusSpec::ipv6_nov2020(5_000);
+        assert!(v6.hostname_rate < 0.2);
+        assert!(v6.ipv6);
+        assert!(v6.vps < v4.vps);
+    }
+
+    #[test]
+    fn hint_table_reflects_pops() {
+        let op = OperatorSpec {
+            suffix: "x.net".into(),
+            style: NamingStyle::Iata,
+            layout: Layout::variants(NamingStyle::Iata)[0].clone(),
+            pops: vec![
+                Pop {
+                    location: LocationId(1),
+                    hint: "lhr".into(),
+                    custom: false,
+                },
+                Pop {
+                    location: LocationId(2),
+                    hint: "ash".into(),
+                    custom: true,
+                },
+            ],
+            router_count: 10,
+            hostname_rate: 1.0,
+            stale_fraction: 0.0,
+            inconsistent_fraction: 0.0,
+        };
+        let t = op.hint_table();
+        assert_eq!(t["lhr"], LocationId(1));
+        assert_eq!(op.custom_hints().len(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+#![warn(missing_docs)]
+
+//! Public-suffix-list handling (§5.1.2 of the paper).
+//!
+//! Hoiho groups router hostnames by the *registerable suffix*: the domain
+//! an operator registers under an effective TLD (`ntt.net` under `net`,
+//! `ccnw.net.au` under `net.au`). This crate parses the Mozilla public
+//! suffix list format — comments, wildcard rules (`*.ck`) and exception
+//! rules (`!www.ck`) — and answers "what suffix does this hostname group
+//! under".
+//!
+//! A built-in list covering the effective TLDs that appear in router
+//! hostname corpora is embedded via [`PublicSuffixList::builtin`]; the
+//! full Mozilla list can be loaded with [`PublicSuffixList::parse`].
+
+mod list;
+
+pub use list::BUILTIN_RULES;
+
+use std::collections::HashMap;
+
+/// One rule from the list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    /// A normal rule: the labels themselves are a public suffix.
+    Normal,
+    /// A wildcard rule `*.<labels>`: any single label under this is a
+    /// public suffix.
+    Wildcard,
+    /// An exception `!<labels>`: this exact domain is *not* a public
+    /// suffix even though a wildcard covers it.
+    Exception,
+}
+
+/// A parsed public suffix list.
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    /// Keyed by the rule's labels joined with dots (without `*.`/`!`).
+    rules: HashMap<String, Rule>,
+}
+
+impl PublicSuffixList {
+    /// Parse the Mozilla file format: one rule per line, `//` comments,
+    /// blank lines ignored. Later duplicate rules overwrite earlier ones.
+    pub fn parse(text: &str) -> PublicSuffixList {
+        let mut rules = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            // The official list terminates rules at whitespace.
+            let token = line.split_whitespace().next().expect("nonempty line");
+            let token = token.to_ascii_lowercase();
+            if let Some(rest) = token.strip_prefix('!') {
+                rules.insert(rest.to_string(), Rule::Exception);
+            } else if let Some(rest) = token.strip_prefix("*.") {
+                rules.insert(rest.to_string(), Rule::Wildcard);
+            } else {
+                rules.insert(token, Rule::Normal);
+            }
+        }
+        PublicSuffixList { rules }
+    }
+
+    /// The embedded list of effective TLDs.
+    pub fn builtin() -> PublicSuffixList {
+        PublicSuffixList::parse(BUILTIN_RULES)
+    }
+
+    /// Number of rules loaded.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The length in labels of the public suffix of `labels`, per the PSL
+    /// algorithm (an unlisted TLD is a public suffix of one label).
+    fn public_suffix_labels(&self, labels: &[&str]) -> usize {
+        let mut best = 1; // prevailing default rule: "*"
+        for start in 0..labels.len() {
+            let key = labels[start..].join(".");
+            match self.rules.get(&key) {
+                Some(Rule::Normal) => best = best.max(labels.len() - start),
+                Some(Rule::Wildcard) => {
+                    // The wildcard extends one label further left.
+                    if start > 0 {
+                        best = best.max(labels.len() - start + 1);
+                    }
+                }
+                Some(Rule::Exception) => {
+                    // Exception: the public suffix is the rule minus its
+                    // leftmost label.
+                    return labels.len() - start - 1;
+                }
+                None => {}
+            }
+        }
+        best
+    }
+
+    /// The *registerable suffix* (public suffix + one label) of a
+    /// hostname, lowercased — the grouping key Hoiho learns conventions
+    /// per. Returns `None` when the hostname is itself a public suffix or
+    /// empty.
+    ///
+    /// ```
+    /// let psl = hoiho_psl::PublicSuffixList::builtin();
+    /// assert_eq!(psl.registerable_suffix("r1.lon.gtt.net"), Some("gtt.net".to_string()));
+    /// assert_eq!(psl.registerable_suffix("core.ccnw.net.au"), Some("ccnw.net.au".to_string()));
+    /// assert_eq!(psl.registerable_suffix("com"), None);
+    /// ```
+    pub fn registerable_suffix(&self, hostname: &str) -> Option<String> {
+        let lower = hostname.trim_end_matches('.').to_ascii_lowercase();
+        let labels: Vec<&str> = lower.split('.').filter(|l| !l.is_empty()).collect();
+        if labels.is_empty() {
+            return None;
+        }
+        let ps = self.public_suffix_labels(&labels);
+        if labels.len() <= ps {
+            return None;
+        }
+        Some(labels[labels.len() - ps - 1..].join("."))
+    }
+
+    /// The part of the hostname before the registerable suffix (without
+    /// the joining dot): `r1.lon` for `r1.lon.gtt.net`. Empty when the
+    /// hostname *is* the registerable suffix; `None` when there is no
+    /// registerable suffix at all.
+    pub fn prefix_of<'h>(&self, hostname: &'h str) -> Option<&'h str> {
+        let suffix = self.registerable_suffix(hostname)?;
+        let host = hostname.trim_end_matches('.');
+        if host.len() == suffix.len() {
+            return Some("");
+        }
+        Some(&host[..host.len() - suffix.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tld() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(
+            psl.registerable_suffix("foo.bar.example.com"),
+            Some("example.com".to_string())
+        );
+    }
+
+    #[test]
+    fn two_level_etld() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(
+            psl.registerable_suffix("core1.syd.ccnw.net.au"),
+            Some("ccnw.net.au".to_string())
+        );
+        assert_eq!(
+            psl.registerable_suffix("r.x.isp.co.uk"),
+            Some("isp.co.uk".to_string())
+        );
+    }
+
+    #[test]
+    fn bare_public_suffix_is_none() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.registerable_suffix("com"), None);
+        assert_eq!(psl.registerable_suffix("net.au"), None);
+        assert_eq!(psl.registerable_suffix(""), None);
+    }
+
+    #[test]
+    fn unknown_tld_uses_default_rule() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(
+            psl.registerable_suffix("a.b.frobnicate"),
+            Some("b.frobnicate".to_string())
+        );
+    }
+
+    #[test]
+    fn wildcard_and_exception() {
+        let psl = PublicSuffixList::parse("*.ck\n!www.ck\n");
+        // Anything one label under .ck is a public suffix...
+        assert_eq!(
+            psl.registerable_suffix("host.shop.example.ck"),
+            Some("shop.example.ck".to_string())
+        );
+        // ...except www.ck, which is registerable itself.
+        assert_eq!(
+            psl.registerable_suffix("host.www.ck"),
+            Some("www.ck".to_string())
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let psl = PublicSuffixList::parse("// comment\n\ncom\n");
+        assert_eq!(psl.len(), 1);
+        assert!(!psl.is_empty());
+    }
+
+    #[test]
+    fn case_and_trailing_dot_normalised() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(
+            psl.registerable_suffix("R1.LON.GTT.NET."),
+            Some("gtt.net".to_string())
+        );
+    }
+
+    #[test]
+    fn prefix_of_splits_correctly() {
+        let psl = PublicSuffixList::builtin();
+        assert_eq!(psl.prefix_of("r1.lon.gtt.net"), Some("r1.lon"));
+        assert_eq!(psl.prefix_of("gtt.net"), Some(""));
+        assert_eq!(psl.prefix_of("net"), None);
+    }
+
+    #[test]
+    fn builtin_is_nontrivial() {
+        assert!(PublicSuffixList::builtin().len() > 50);
+    }
+}

@@ -1,0 +1,182 @@
+//! The RTT measurement simulator.
+//!
+//! Measured RTTs are generated from a physical model: great-circle
+//! propagation at 2/3 c, multiplied by a *path stretch* factor (real
+//! fiber paths are not great circles and detour through PoPs), plus
+//! per-hop queueing/processing noise. The model guarantees the invariant
+//! the paper's feasibility test relies on: **a measured RTT is never
+//! below the theoretical best case.**
+
+use crate::{RouterRtts, VpId, VpSet};
+use hoiho_geotypes::{rtt::best_case_rtt_ms, Coordinates, Rtt};
+use rand::Rng;
+
+/// Parameters of the measurement model.
+#[derive(Debug, Clone)]
+pub struct RttModel {
+    /// Minimum multiplicative path stretch (≥ 1.0).
+    pub stretch_min: f64,
+    /// Maximum multiplicative path stretch.
+    pub stretch_max: f64,
+    /// Mean of the exponential queueing-noise term, in ms.
+    pub noise_mean_ms: f64,
+    /// Constant local-processing floor added to every measurement, ms.
+    pub floor_ms: f64,
+    /// Probability a responsive router answers probes from a given VP
+    /// (the paper obtained samples from 89.4% of VPs for responsive
+    /// routers).
+    pub per_vp_response_rate: f64,
+}
+
+impl Default for RttModel {
+    fn default() -> Self {
+        RttModel {
+            stretch_min: 1.2,
+            stretch_max: 2.2,
+            noise_mean_ms: 1.0,
+            floor_ms: 0.3,
+            per_vp_response_rate: 0.894,
+        }
+    }
+}
+
+impl RttModel {
+    /// One measured minimum-of-three RTT between a VP and a router.
+    pub fn sample_rtt<R: Rng + ?Sized>(
+        &self,
+        vp: &Coordinates,
+        router: &Coordinates,
+        rng: &mut R,
+    ) -> Rtt {
+        let base = best_case_rtt_ms(vp, router);
+        // Min of three probes ≈ min of three independent stretch+noise
+        // draws; we draw three and keep the smallest to reproduce the
+        // paper's measurement procedure.
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let stretch =
+                self.stretch_min + rng.random::<f64>() * (self.stretch_max - self.stretch_min);
+            let noise = -self.noise_mean_ms * (1.0 - rng.random::<f64>()).ln();
+            let v = base * stretch + noise + self.floor_ms;
+            if v < best {
+                best = v;
+            }
+        }
+        // Physical invariant: never below the speed-of-light bound.
+        Rtt::from_ms(best.max(base))
+    }
+
+    /// Probe a router from every VP in the set ("we probed all routers
+    /// from all VPs, as we could not know a priori which VP would observe
+    /// the smallest RTT"), honouring the per-VP response rate.
+    pub fn probe_from_all<R: Rng + ?Sized>(
+        &self,
+        vps: &VpSet,
+        router: &Coordinates,
+        rng: &mut R,
+    ) -> RouterRtts {
+        let mut out = RouterRtts::new();
+        for (id, vp) in vps.iter() {
+            if rng.random::<f64>() <= self.per_vp_response_rate {
+                out.record(id, self.sample_rtt(&vp.coords, router, rng));
+            }
+        }
+        out
+    }
+
+    /// Probe from a single VP (used by the traceroute-observation model).
+    pub fn probe_from<R: Rng + ?Sized>(
+        &self,
+        vps: &VpSet,
+        vp: VpId,
+        router: &Coordinates,
+        rng: &mut R,
+    ) -> Rtt {
+        self.sample_rtt(&vps.get(vp).coords, router, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB0A7)
+    }
+
+    #[test]
+    fn measured_never_below_best_case() {
+        let m = RttModel::default();
+        let mut r = rng();
+        let a = Coordinates::new(38.9, -77.0);
+        let b = Coordinates::new(51.5, -0.1);
+        let best = best_case_rtt_ms(&a, &b);
+        for _ in 0..200 {
+            let s = m.sample_rtt(&a, &b, &mut r);
+            assert!(s.as_ms() >= best, "{} < {}", s.as_ms(), best);
+        }
+    }
+
+    #[test]
+    fn nearby_routers_have_small_rtts() {
+        let m = RttModel::default();
+        let mut r = rng();
+        let vp = Coordinates::new(38.9, -77.0);
+        let router = Coordinates::new(39.04, -77.49); // Ashburn, ~50km
+        let mut max = 0.0f64;
+        for _ in 0..100 {
+            max = max.max(m.sample_rtt(&vp, &router, &mut r).as_ms());
+        }
+        assert!(max < 15.0, "local RTT too high: {max}");
+    }
+
+    #[test]
+    fn transatlantic_rtts_realistic() {
+        let m = RttModel::default();
+        let mut r = rng();
+        let vp = Coordinates::new(38.9, -77.0); // DC
+        let router = Coordinates::new(51.5, -0.1); // London
+        let mut sum = 0.0;
+        for _ in 0..100 {
+            sum += m.sample_rtt(&vp, &router, &mut r).as_ms();
+        }
+        let mean = sum / 100.0;
+        assert!((60.0..160.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn probe_from_all_respects_response_rate() {
+        let mut vps = VpSet::new();
+        for i in 0..100 {
+            vps.add(format!("vp{i}"), Coordinates::new(0.0, i as f64));
+        }
+        let m = RttModel {
+            per_vp_response_rate: 0.5,
+            ..Default::default()
+        };
+        let mut r = rng();
+        let router = Coordinates::new(10.0, 10.0);
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += m.probe_from_all(&vps, &router, &mut r).len();
+        }
+        let mean = total as f64 / 20.0;
+        assert!((35.0..65.0).contains(&mean), "mean responses {mean}");
+    }
+
+    #[test]
+    fn full_response_rate_probes_every_vp() {
+        let mut vps = VpSet::new();
+        for i in 0..10 {
+            vps.add(format!("vp{i}"), Coordinates::new(0.0, i as f64));
+        }
+        let m = RttModel {
+            per_vp_response_rate: 1.0,
+            ..Default::default()
+        };
+        let samples = m.probe_from_all(&vps, &Coordinates::new(1.0, 1.0), &mut rng());
+        assert_eq!(samples.len(), 10);
+    }
+}

@@ -1,0 +1,174 @@
+//! The traceroute observation model (figure 5).
+//!
+//! DRoP constrained inference with RTTs *observed in the traceroutes
+//! used to build the ITDK*. The paper shows why that is weak: 35.8% of
+//! routers appear in traceroutes from only one VP, the observing VP is
+//! rarely the closest one, and traceroute RTTs are inflated (median 68ms
+//! vs 16ms for closest-VP pings — 4.25×, a 180× larger feasible area).
+//!
+//! This module simulates which VPs *observe* a router in traceroute and
+//! with what (inflated) RTT, so the fig-5 comparison and the DRoP
+//! baseline can be reproduced.
+
+use crate::{RouterRtts, RttModel, VpSet};
+use hoiho_geotypes::{Coordinates, Rtt};
+use rand::Rng;
+
+/// Parameters of the traceroute observation model.
+#[derive(Debug, Clone)]
+pub struct ObservationModel {
+    /// Probability a router is observed by exactly one VP (paper: 35.8%).
+    pub single_vp_fraction: f64,
+    /// Geometric-tail continuation probability for additional observing
+    /// VPs beyond the first.
+    pub extra_vp_continue: f64,
+    /// Multiplicative inflation applied to traceroute RTTs on top of the
+    /// ping model (captures reply-path asymmetry and queuing on loaded
+    /// paths; tuned so the median traceroute RTT ≈ 4× the closest-VP
+    /// ping RTT).
+    pub inflation_min: f64,
+    /// Upper bound of the inflation factor.
+    pub inflation_max: f64,
+}
+
+impl Default for ObservationModel {
+    fn default() -> Self {
+        ObservationModel {
+            single_vp_fraction: 0.358,
+            extra_vp_continue: 0.55,
+            inflation_min: 1.0,
+            inflation_max: 1.5,
+        }
+    }
+}
+
+impl ObservationModel {
+    /// Simulate the traceroute view of one router: which VPs saw it and
+    /// the RTT each saw. Observing VPs are drawn *uniformly*, not by
+    /// proximity — the crux of the paper's figure-5 argument.
+    pub fn observe<R: Rng + ?Sized>(
+        &self,
+        vps: &VpSet,
+        ping: &RttModel,
+        router: &Coordinates,
+        rng: &mut R,
+    ) -> RouterRtts {
+        let mut out = RouterRtts::new();
+        if vps.is_empty() {
+            return out;
+        }
+        let mut n = 1usize;
+        if rng.random::<f64>() > self.single_vp_fraction {
+            // Geometric number of additional VPs.
+            n += 1;
+            while rng.random::<f64>() < self.extra_vp_continue && n < vps.len() {
+                n += 1;
+            }
+        }
+        // Sample n distinct VPs uniformly.
+        let mut ids: Vec<u16> = (0..vps.len() as u16).collect();
+        for i in 0..n.min(ids.len()) {
+            let j = i + (rng.random::<u64>() as usize) % (ids.len() - i);
+            ids.swap(i, j);
+        }
+        for &raw in ids.iter().take(n) {
+            let vp = crate::VpId(raw);
+            let base = ping.probe_from(vps, vp, router, rng);
+            let infl = self.inflation_min
+                + rng.random::<f64>() * (self.inflation_max - self.inflation_min);
+            out.record(vp, Rtt::from_ms(base.as_ms() * infl));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> VpSet {
+        let coords = [
+            (38.9, -77.0),
+            (37.34, -121.89),
+            (51.5, -0.1),
+            (52.37, 4.90),
+            (35.68, 139.65),
+            (-33.87, 151.21),
+            (41.88, -87.63),
+            (47.61, -122.33),
+        ];
+        let mut vps = VpSet::new();
+        for (i, (lat, lon)) in coords.iter().enumerate() {
+            vps.add(format!("vp{i}"), Coordinates::new(*lat, *lon));
+        }
+        vps
+    }
+
+    #[test]
+    fn single_vp_fraction_approximated() {
+        let vps = world();
+        let model = ObservationModel::default();
+        let ping = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let router = Coordinates::new(39.0, -77.5);
+        let mut single = 0usize;
+        let n = 2000;
+        for _ in 0..n {
+            if model.observe(&vps, &ping, &router, &mut rng).len() == 1 {
+                single += 1;
+            }
+        }
+        let frac = single as f64 / n as f64;
+        assert!((0.30..0.42).contains(&frac), "single-VP fraction {frac}");
+    }
+
+    #[test]
+    fn traceroute_rtts_exceed_ping_rtts() {
+        // The observed (inflated, random-VP) RTT should on average be
+        // far larger than the closest-VP ping RTT — the figure-5 gap.
+        let vps = world();
+        let model = ObservationModel::default();
+        let ping = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let router = Coordinates::new(39.0, -77.5); // near the DC VP
+        let mut tr_sum = 0.0;
+        let mut ping_sum = 0.0;
+        let n = 500;
+        for _ in 0..n {
+            let tr = model.observe(&vps, &ping, &router, &mut rng);
+            tr_sum += tr.min_sample().unwrap().1.as_ms();
+            let all = ping.probe_from_all(&vps, &router, &mut rng);
+            ping_sum += all.min_sample().unwrap().1.as_ms();
+        }
+        let ratio = tr_sum / ping_sum;
+        assert!(ratio > 2.0, "traceroute/ping RTT ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn observation_bounded_by_vp_count() {
+        let vps = world();
+        let model = ObservationModel {
+            single_vp_fraction: 0.0,
+            extra_vp_continue: 0.999,
+            ..Default::default()
+        };
+        let ping = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let obs = model.observe(&vps, &ping, &Coordinates::new(0.0, 0.0), &mut rng);
+        assert!(obs.len() <= vps.len());
+        assert!(obs.len() >= 2);
+    }
+
+    #[test]
+    fn empty_vpset_yields_no_observation() {
+        let vps = VpSet::new();
+        let model = ObservationModel::default();
+        let ping = RttModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(model
+            .observe(&vps, &ping, &Coordinates::new(0.0, 0.0), &mut rng)
+            .is_empty());
+    }
+}

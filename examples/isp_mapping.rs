@@ -1,0 +1,84 @@
+//! ISP mapping: characterise where a network deploys its
+//! infrastructure — the Rocketfuel-style use case from the paper's
+//! introduction ("a foundational building block of network performance,
+//! security, and resilience analysis").
+//!
+//! Learns conventions over the ground-truth suite, then reconstructs
+//! each network's point-of-presence footprint from hostnames alone and
+//! compares it with the generator's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example isp_mapping [suffix]
+//! ```
+
+use hoiho::{Geolocator, Hoiho};
+use hoiho_geodb::GeoDb;
+use hoiho_psl::PublicSuffixList;
+use std::collections::{BTreeMap, HashSet};
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "ntt.net".into());
+    let db = GeoDb::builtin();
+    let psl = PublicSuffixList::builtin();
+    eprintln!("generating ground-truth corpus and learning conventions…");
+    let g = hoiho_bench::gt::corpus(&db);
+    let report = Hoiho::new(&db, &psl).learn_corpus(&g.corpus);
+    let geo = Geolocator::from_report(&report);
+
+    // Reconstruct the PoP footprint of the target suffix: inferred
+    // city → router count.
+    let mut footprint: BTreeMap<String, usize> = BTreeMap::new();
+    let mut routers_seen: HashSet<u32> = HashSet::new();
+    for (id, r) in g.corpus.iter() {
+        for h in r.hostnames() {
+            if psl.registerable_suffix(h).as_deref() != Some(target.as_str()) {
+                continue;
+            }
+            if let Some(inf) = geo.geolocate(&db, &psl, h) {
+                if routers_seen.insert(id.0) {
+                    *footprint
+                        .entry(db.location(inf.location).display_name())
+                        .or_default() += 1;
+                }
+            }
+        }
+    }
+
+    if footprint.is_empty() {
+        println!("no usable convention learned for {target}; try e.g. ntt.net, zayo.com, he.net");
+        return;
+    }
+
+    // Ground truth for comparison.
+    let truth: BTreeMap<String, ()> = g
+        .operators
+        .iter()
+        .find(|o| o.suffix == target)
+        .map(|o| {
+            o.pops
+                .iter()
+                .map(|p| (db.location(p.location).display_name(), ()))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    println!(
+        "\ninferred PoP footprint of {target} ({} routers geolocated):\n",
+        routers_seen.len()
+    );
+    for (city, n) in &footprint {
+        let mark = if truth.contains_key(city) {
+            "✓"
+        } else {
+            "✗"
+        };
+        println!("  {mark} {city:32} {n} routers");
+    }
+    let correct = footprint.keys().filter(|c| truth.contains_key(*c)).count();
+    println!(
+        "\n{}/{} inferred PoP cities are true PoPs of the operator ({} true PoPs total)",
+        correct,
+        footprint.len(),
+        truth.len()
+    );
+}

@@ -1,0 +1,85 @@
+//! Quickstart: learn geolocation naming conventions from a corpus and
+//! geolocate hostnames with them.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hoiho::{Geolocator, Hoiho};
+use hoiho_geodb::GeoDb;
+use hoiho_itdk::spec::CorpusSpec;
+use hoiho_psl::PublicSuffixList;
+
+fn main() {
+    // Stage 1 inputs: the reference dictionary and the public suffix
+    // list ship with the library; the router corpus would normally be a
+    // CAIDA ITDK — here we generate a small synthetic one with known
+    // ground truth.
+    let db = GeoDb::builtin();
+    let psl = PublicSuffixList::builtin();
+    let spec = CorpusSpec {
+        operators: 10,
+        routers: 800,
+        ..CorpusSpec::ipv4_aug2020(800)
+    };
+    let generated = hoiho_itdk::generate(&db, &spec);
+    println!(
+        "corpus: {} routers, {} vantage points",
+        generated.corpus.len(),
+        generated.corpus.vps.len()
+    );
+
+    // Stages 2–5: learn a naming convention per suffix.
+    let report = Hoiho::new(&db, &psl).learn_corpus(&generated.corpus);
+    println!(
+        "\nlearned conventions for {} suffixes ({} usable):",
+        report.results.len(),
+        report.usable().count()
+    );
+    for r in report.usable() {
+        let m = r.metrics.as_ref().expect("usable NCs have metrics");
+        println!(
+            "\n  {} [{}]  TP={} FP={} FN={} UNK={}  PPV={:.0}%",
+            r.suffix,
+            r.class,
+            m.tp,
+            m.fp,
+            m.fn_,
+            m.unk,
+            100.0 * m.ppv()
+        );
+        for rx in &r.nc.as_ref().expect("usable NCs exist").regexes {
+            println!("    {rx}");
+        }
+        for h in &r.learned.hints {
+            println!(
+                "    learned: \"{}\" → {}",
+                h.token,
+                db.location(h.location).display_name()
+            );
+        }
+    }
+
+    // Apply: geolocate hostnames — including ones the learner never saw.
+    let geo = Geolocator::from_report(&report);
+    println!("\ngeolocating sample hostnames:");
+    let mut shown = 0;
+    for r in &generated.corpus.routers {
+        for h in r.hostnames() {
+            if let Some(inf) = geo.geolocate(&db, &psl, h) {
+                println!(
+                    "  {:50} → {} (hint \"{}\", {})",
+                    h,
+                    db.location(inf.location).display_name(),
+                    inf.hint,
+                    inf.ty
+                );
+                shown += 1;
+                break;
+            }
+        }
+        if shown >= 8 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate for hoiho-rs examples and integration tests.
+pub use hoiho;

@@ -1,0 +1,122 @@
+//! Cross-crate property-based tests.
+
+use hoiho::apparent::tag_prefix;
+use hoiho_geodb::GeoDb;
+use hoiho_geotypes::{Coordinates, Rtt};
+use hoiho_psl::PublicSuffixList;
+use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpId, VpSet};
+use proptest::prelude::*;
+
+fn vpset() -> VpSet {
+    let mut vps = VpSet::new();
+    vps.add("dca-us", Coordinates::new(38.9, -77.0));
+    vps.add("lcy-gb", Coordinates::new(51.5, 0.05));
+    vps.add("nrt-jp", Coordinates::new(35.77, 140.39));
+    vps
+}
+
+fn hostname_prefix() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z0-9-]{1,12}", 1..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stage-2 tagging never panics and every tag's span points at its
+    /// text, for arbitrary hostname prefixes.
+    #[test]
+    fn tagging_is_total_and_spans_are_valid(
+        prefix in hostname_prefix(),
+        rtt_ms in 0.5f64..200.0,
+        vp in 0u16..3,
+    ) {
+        let db = GeoDb::builtin();
+        let vps = vpset();
+        let mut rtts = RouterRtts::new();
+        rtts.record(VpId(vp), Rtt::from_ms(rtt_ms));
+        let tags = tag_prefix(&db, &vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
+        for t in &tags {
+            prop_assert!(t.start < t.end);
+            prop_assert!(t.end <= prefix.len());
+            // For unsplit tags the text is the literal span (CLLI heads
+            // truncate to six characters).
+            if t.split.is_none() {
+                prop_assert!(
+                    prefix[t.start..t.end].starts_with(t.text.chars().next().unwrap_or('?'))
+                );
+            }
+            // Tagged locations were RTT-feasible.
+            for loc in &t.locations {
+                let c = db.location(*loc).coords;
+                prop_assert!(hoiho_rtt::rtt_consistent(
+                    &vps,
+                    &rtts,
+                    &c,
+                    &ConsistencyPolicy::STRICT
+                ));
+            }
+        }
+    }
+
+    /// The public suffix list produces suffixes that are suffixes.
+    #[test]
+    fn registerable_suffix_is_a_suffix(prefix in hostname_prefix(), tld in "(com|net|org|de|net\\.au|co\\.uk)") {
+        let psl = PublicSuffixList::builtin();
+        let host = format!("{prefix}.example.{tld}");
+        let sfx = psl.registerable_suffix(&host);
+        prop_assert!(sfx.is_some());
+        let sfx = sfx.unwrap();
+        prop_assert!(host.ends_with(&sfx));
+        prop_assert!(sfx.starts_with("example."));
+    }
+
+    /// Base regexes built from any tagged hostname match that hostname.
+    #[test]
+    fn base_regexes_match_their_source(
+        role in "(cr|gw|core)[0-9]",
+        code in "(lhr|sea|ams|fra|prg)",
+        n in 1u8..99,
+    ) {
+        let db = GeoDb::builtin();
+        let vps = vpset();
+        let prefix = format!("{role}.{code}{n}");
+        let mut rtts = RouterRtts::new();
+        // Loose constraint: everything feasible, so the hint is tagged.
+        rtts.record(VpId(0), Rtt::from_ms(500.0));
+        let tags = tag_prefix(&db, &vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
+        prop_assert!(!tags.is_empty());
+        let hostname = format!("{prefix}.example.net");
+        let regexes = hoiho::builder::base_regexes_for_host(&prefix, &tags, "example.net");
+        prop_assert!(!regexes.is_empty());
+        let mut matched_any = false;
+        for r in &regexes {
+            if let Some(e) = r.extract(&hostname) {
+                matched_any = true;
+                // The extraction is a substring of the hostname.
+                prop_assert!(hostname.contains(&e.hint));
+            }
+        }
+        prop_assert!(matched_any, "no base regex matched {hostname}");
+    }
+
+    /// RTT consistency is monotone in the measurement: a larger RTT
+    /// never makes a feasible location infeasible.
+    #[test]
+    fn consistency_monotone_in_rtt(
+        lat in -60.0f64..60.0,
+        lon in -180.0f64..180.0,
+        ms in 1.0f64..300.0,
+        extra in 0.0f64..100.0,
+    ) {
+        let vps = vpset();
+        let cand = Coordinates::new(lat, lon);
+        let mut small = RouterRtts::new();
+        small.record(VpId(0), Rtt::from_ms(ms));
+        let mut large = RouterRtts::new();
+        large.record(VpId(0), Rtt::from_ms(ms + extra));
+        let policy = ConsistencyPolicy::STRICT;
+        if hoiho_rtt::rtt_consistent(&vps, &small, &cand, &policy) {
+            prop_assert!(hoiho_rtt::rtt_consistent(&vps, &large, &cand, &policy));
+        }
+    }
+}

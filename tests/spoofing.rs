@@ -1,0 +1,112 @@
+//! §5.1.4: spoofing vantage points poison RTT constraints unless they
+//! are filtered. The paper discarded seven such VPs by hand; the
+//! pipeline automates the filter, and this test measures its effect
+//! end to end.
+
+use hoiho::{Hoiho, HoihoOptions};
+use hoiho_geodb::GeoDb;
+use hoiho_itdk::spec::CorpusSpec;
+use hoiho_psl::PublicSuffixList;
+use hoiho_rtt::fault::inject_spoofing;
+use hoiho_rtt::VpId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn poisoned_corpus(db: &GeoDb) -> hoiho_itdk::Corpus {
+    let spec = CorpusSpec {
+        label: "spoof-test".into(),
+        seed: 0x5100F,
+        operators: 8,
+        routers: 600,
+        geo_operator_fraction: 1.0,
+        sloppy_operator_fraction: 0.0,
+        hostname_rate: 0.9,
+        rtt_response_rate: 0.95,
+        vps: 30,
+        custom_hint_operator_fraction: 0.0,
+        custom_hint_rate: 0.0,
+        stale_fraction: 0.0,
+        provider_side_fraction: 0.0,
+        ipv6: false,
+    };
+    let mut g = hoiho_itdk::generate(db, &spec);
+    // Three access routers spoof TCP resets: every probe from these VPs
+    // comes back in 1–2 ms regardless of target distance.
+    let bad = vec![VpId(3), VpId(11), VpId(19)];
+    let mut rng = StdRng::seed_from_u64(7);
+    for r in &mut g.corpus.routers {
+        if !r.rtts.is_empty() {
+            inject_spoofing(&mut r.rtts, &bad, &mut rng);
+        }
+    }
+    g.corpus
+}
+
+#[test]
+fn filter_recovers_learning_from_spoofed_campaign() {
+    let db = GeoDb::builtin();
+    let psl = PublicSuffixList::builtin();
+    let corpus = poisoned_corpus(&db);
+
+    let unfiltered = Hoiho::with_options(
+        &db,
+        &psl,
+        HoihoOptions {
+            filter_spoofed_vps: false,
+            ..Default::default()
+        },
+    )
+    .learn_corpus(&corpus);
+    let filtered = Hoiho::new(&db, &psl).learn_corpus(&corpus); // filter on by default
+
+    // The filter identifies exactly the poisoned VPs.
+    let mut found = filtered.spoofed_vps.clone();
+    found.sort();
+    assert_eq!(found, vec![VpId(3), VpId(11), VpId(19)]);
+    assert!(unfiltered.spoofed_vps.is_empty());
+
+    // Spoofed 1–2 ms RTTs make every true geohint RTT-infeasible, so
+    // unfiltered learning collapses; filtering restores it.
+    assert!(
+        filtered.routers_geolocated > 2 * unfiltered.routers_geolocated.max(1),
+        "filtered {} vs unfiltered {}",
+        filtered.routers_geolocated,
+        unfiltered.routers_geolocated
+    );
+    assert!(filtered.usable().count() >= unfiltered.usable().count());
+}
+
+#[test]
+fn filter_is_inert_on_clean_measurements() {
+    let db = GeoDb::builtin();
+    let psl = PublicSuffixList::builtin();
+    let spec = CorpusSpec {
+        label: "clean".into(),
+        seed: 0xC1ea2,
+        operators: 6,
+        routers: 400,
+        geo_operator_fraction: 0.8,
+        sloppy_operator_fraction: 0.0,
+        hostname_rate: 0.85,
+        rtt_response_rate: 0.9,
+        vps: 25,
+        custom_hint_operator_fraction: 0.3,
+        custom_hint_rate: 0.2,
+        stale_fraction: 0.005,
+        provider_side_fraction: 0.0,
+        ipv6: false,
+    };
+    let corpus = hoiho_itdk::generate(&db, &spec).corpus;
+    let on = Hoiho::new(&db, &psl).learn_corpus(&corpus);
+    let off = Hoiho::with_options(
+        &db,
+        &psl,
+        HoihoOptions {
+            filter_spoofed_vps: false,
+            ..Default::default()
+        },
+    )
+    .learn_corpus(&corpus);
+    assert!(on.spoofed_vps.is_empty(), "no false flags on clean data");
+    assert_eq!(on.routers_geolocated, off.routers_geolocated);
+}
