@@ -1,0 +1,21 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, release build, tests.
+# Everything runs with --offline — the workspace has no external
+# dependencies, so no network (or crates.io index) is required.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "CI OK"

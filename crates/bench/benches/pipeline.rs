@@ -1,11 +1,14 @@
-//! Criterion benches for the learning pipeline: stage-2 tagging
+//! Hand-rolled benches for the learning pipeline: stage-2 tagging
 //! throughput, per-suffix learning, full-corpus learning, and the
 //! downstream apply hot path, plus the constraints ablation DESIGN.md
 //! calls out (all-VP pings vs traceroute-only, the DRoP design flaw).
+//!
+//! Offline build — no criterion; `hoiho_bench::run_bench` times each
+//! closure and prints median/mean per-iteration wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hoiho::train::build_training_sets;
 use hoiho::{Geolocator, Hoiho};
+use hoiho_bench::run_bench;
 use hoiho_geodb::GeoDb;
 use hoiho_itdk::spec::CorpusSpec;
 use hoiho_psl::PublicSuffixList;
@@ -32,49 +35,28 @@ fn small_corpus(db: &GeoDb) -> hoiho_itdk::generate::Generated {
     hoiho_itdk::generate(db, &spec)
 }
 
-fn bench_tagging(c: &mut Criterion) {
+fn main() {
     let db = GeoDb::builtin();
     let psl = PublicSuffixList::builtin();
     let g = small_corpus(&db);
-    c.bench_function("stage2_tag_corpus", |b| {
-        b.iter(|| {
-            let sets =
-                build_training_sets(&db, &psl, black_box(&g.corpus), &ConsistencyPolicy::STRICT);
-            sets.len()
-        })
-    });
-}
+    let hoiho = Hoiho::new(&db, &psl);
 
-fn bench_learn_suffix(c: &mut Criterion) {
-    let db = GeoDb::builtin();
-    let psl = PublicSuffixList::builtin();
-    let g = small_corpus(&db);
+    run_bench("stage2_tag_corpus", 10, || {
+        let sets = build_training_sets(&db, &psl, black_box(&g.corpus), &ConsistencyPolicy::STRICT);
+        sets.len()
+    });
+
     let sets = build_training_sets(&db, &psl, &g.corpus, &ConsistencyPolicy::STRICT);
     let biggest = &sets[0];
-    let hoiho = Hoiho::new(&db, &psl);
-    c.bench_function("stage3to5_learn_biggest_suffix", |b| {
-        b.iter(|| hoiho.learn_suffix(&g.corpus.vps, black_box(biggest)))
+    run_bench("stage3to5_learn_biggest_suffix", 10, || {
+        hoiho.learn_suffix(&g.corpus.vps, black_box(biggest))
     });
-}
 
-fn bench_learn_corpus(c: &mut Criterion) {
-    let db = GeoDb::builtin();
-    let psl = PublicSuffixList::builtin();
-    let g = small_corpus(&db);
-    let hoiho = Hoiho::new(&db, &psl);
-    let mut group = c.benchmark_group("full_pipeline");
-    group.sample_size(10);
-    group.bench_function("learn_corpus_1200_routers", |b| {
-        b.iter(|| hoiho.learn_corpus(black_box(&g.corpus)))
+    run_bench("learn_corpus_1200_routers", 3, || {
+        hoiho.learn_corpus(black_box(&g.corpus))
     });
-    group.finish();
-}
 
-fn bench_apply(c: &mut Criterion) {
-    let db = GeoDb::builtin();
-    let psl = PublicSuffixList::builtin();
-    let g = small_corpus(&db);
-    let report = Hoiho::new(&db, &psl).learn_corpus(&g.corpus);
+    let report = hoiho.learn_corpus(&g.corpus);
     let geo = Geolocator::from_report(&report);
     let hostnames: Vec<String> = g
         .corpus
@@ -83,46 +65,26 @@ fn bench_apply(c: &mut Criterion) {
         .flat_map(|r| r.hostnames().map(String::from).collect::<Vec<_>>())
         .take(512)
         .collect();
-    c.bench_function("apply_geolocate_512_hostnames", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for h in &hostnames {
-                if geo.geolocate(&db, &psl, black_box(h)).is_some() {
-                    n += 1;
-                }
+    run_bench("apply_geolocate_512_hostnames", 20, || {
+        let mut n = 0usize;
+        for h in &hostnames {
+            if geo.geolocate(&db, &psl, black_box(h)).is_some() {
+                n += 1;
             }
-            n
-        })
+        }
+        n
     });
-}
 
-fn bench_constraint_ablation(c: &mut Criterion) {
     // DESIGN.md ablation 2: learning accuracy/work under all-VP ping
     // constraints vs coarse traceroute-only constraints is evaluated in
     // repro_fig9; here we measure the *cost* of the strict policy's
     // extra feasibility checks.
-    let db = GeoDb::builtin();
-    let psl = PublicSuffixList::builtin();
-    let g = small_corpus(&db);
-    let mut group = c.benchmark_group("consistency_policy");
-    group.sample_size(10);
     for (name, policy) in [
-        ("strict", ConsistencyPolicy::STRICT),
-        ("continent", ConsistencyPolicy::CONTINENT),
+        ("consistency_policy/strict", ConsistencyPolicy::STRICT),
+        ("consistency_policy/continent", ConsistencyPolicy::CONTINENT),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| build_training_sets(&db, &psl, black_box(&g.corpus), &policy).len())
+        run_bench(name, 10, || {
+            build_training_sets(&db, &psl, black_box(&g.corpus), &policy).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_tagging,
-    bench_learn_suffix,
-    bench_learn_corpus,
-    bench_apply,
-    bench_constraint_ablation
-);
-criterion_main!(benches);

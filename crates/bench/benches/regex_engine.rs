@@ -1,9 +1,9 @@
-//! Criterion benches for the from-scratch regex engine on learned-NC
-//! workloads, including the differential comparison with the mainstream
-//! `regex` crate and the possessive-vs-greedy ablation DESIGN.md calls
-//! out.
+//! Hand-rolled benches for the from-scratch regex engine on learned-NC
+//! workloads, including the possessive-vs-greedy ablation DESIGN.md
+//! calls out. (The differential comparison with the mainstream `regex`
+//! crate is gone: the offline build cannot depend on it.)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hoiho_bench::run_bench;
 use hoiho_regex::Regex as Hoiho;
 use std::hint::black_box;
 
@@ -24,86 +24,40 @@ const SUBJECTS: &[&str] = &[
     "0.af0.rcmdva83-mse01-a-ie1.alter.net",
 ];
 
-fn bench_match(c: &mut Criterion) {
-    let mut g = c.benchmark_group("match");
+fn main() {
     let ours: Vec<Hoiho> = PATTERNS.iter().map(|p| Hoiho::parse(p).unwrap()).collect();
-    let std: Vec<regex::Regex> = PATTERNS
-        .iter()
-        .map(|p| regex::Regex::new(p).unwrap())
-        .collect();
 
-    g.bench_function("hoiho_regex", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for re in &ours {
-                for s in SUBJECTS {
-                    if re.is_match(black_box(s)) {
-                        hits += 1;
-                    }
+    run_bench("match/hoiho_regex", 10_000, || {
+        let mut hits = 0usize;
+        for re in &ours {
+            for s in SUBJECTS {
+                if re.is_match(black_box(s)) {
+                    hits += 1;
                 }
             }
-            hits
-        })
+        }
+        hits
     });
-    g.bench_function("regex_crate", |b| {
-        b.iter(|| {
-            let mut hits = 0usize;
-            for re in &std {
-                for s in SUBJECTS {
-                    if re.is_match(black_box(s)) {
-                        hits += 1;
-                    }
-                }
-            }
-            hits
-        })
-    });
-    g.finish();
-}
 
-fn bench_captures(c: &mut Criterion) {
     let re = Hoiho::parse(PATTERNS[0]).unwrap();
-    let std = regex::Regex::new(PATTERNS[0]).unwrap();
     let subject = SUBJECTS[0];
-    let mut g = c.benchmark_group("captures");
-    g.bench_function("hoiho_regex", |b| {
-        b.iter(|| re.captures(black_box(subject)).unwrap().map(|c| c.len()))
+    run_bench("captures/hoiho_regex", 50_000, || {
+        re.captures(black_box(subject)).unwrap().map(|c| c.len())
     });
-    g.bench_function("regex_crate", |b| {
-        b.iter(|| std.captures(black_box(subject)).map(|c| c.len()))
-    });
-    g.finish();
-}
 
-fn bench_possessive(c: &mut Criterion) {
     // Ablation: a possessive quantifier avoids backtracking on
     // non-matching subjects.
     let greedy = Hoiho::parse(r"^[^-]+-[^-]+-[^-]+-[a-z]+\d$").unwrap();
     let possessive = Hoiho::parse(r"^[^-]++-[^-]++-[^-]++-[a-z]+\d$").unwrap();
     let miss = "aaaa-bbbb-cccc-dddd"; // no trailing digit: forces search
-    let mut g = c.benchmark_group("possessive_ablation");
-    g.bench_function("greedy", |b| b.iter(|| greedy.is_match(black_box(miss))));
-    g.bench_function("possessive", |b| {
-        b.iter(|| possessive.is_match(black_box(miss)))
+    run_bench("possessive_ablation/greedy", 50_000, || {
+        greedy.is_match(black_box(miss))
     });
-    g.finish();
-}
+    run_bench("possessive_ablation/possessive", 50_000, || {
+        possessive.is_match(black_box(miss))
+    });
 
-fn bench_parse(c: &mut Criterion) {
-    c.bench_function("parse_pattern", |b| {
-        b.iter_batched(
-            || PATTERNS[2],
-            |p| Hoiho::parse(black_box(p)).unwrap(),
-            BatchSize::SmallInput,
-        )
+    run_bench("parse_pattern", 50_000, || {
+        Hoiho::parse(black_box(PATTERNS[2])).unwrap()
     });
 }
-
-criterion_group!(
-    benches,
-    bench_match,
-    bench_captures,
-    bench_possessive,
-    bench_parse
-);
-criterion_main!(benches);

@@ -29,7 +29,9 @@ fn main() {
             learn,
             ..Default::default()
         };
-        let report = Hoiho::with_options(&db, &psl, opts).learn_corpus(&g.corpus);
+        let report = hoiho_bench::learn_phase(name, || {
+            Hoiho::with_options(&db, &psl, opts).learn_corpus(&g.corpus)
+        });
         let geo = Geolocator::from_report(&report);
         let scores = score_method(&db, &psl, &g.corpus, |h, _| {
             geo.geolocate(&db, &psl, h).map(|i| i.location)
@@ -52,50 +54,46 @@ fn main() {
                 }
             }
         }
-        (
-            name.to_string(),
-            learned,
-            correct,
-            mean_tp_pct(&scores),
-        )
+        (name.to_string(), learned, correct, mean_tp_pct(&scores))
     };
 
-    let mut rows = Vec::new();
-    // Ablation 3: thresholds.
-    rows.push(run("paper (ppv≥0.8, 3/1 congruent)", LearnPolicy::default()));
-    rows.push(run(
-        "loose (ppv≥0.5, 1/1 congruent)",
-        LearnPolicy {
-            min_ppv: 0.5,
-            congruent_without_cc: 1,
-            congruent_with_cc: 1,
-            ..Default::default()
-        },
-    ));
-    rows.push(run(
-        "strict (ppv≥0.95, 5/3 congruent)",
-        LearnPolicy {
-            min_ppv: 0.95,
-            congruent_without_cc: 5,
-            congruent_with_cc: 3,
-            ..Default::default()
-        },
-    ));
-    // Ablation 4: ranking order.
-    rows.push(run(
-        "rank: population→tp (no facility)",
-        LearnPolicy {
-            rank: RankOrder::PopulationTp,
-            ..Default::default()
-        },
-    ));
-    rows.push(run(
-        "rank: tp→population",
-        LearnPolicy {
-            rank: RankOrder::TpPopulation,
-            ..Default::default()
-        },
-    ));
+    let rows = vec![
+        // Ablation 3: thresholds.
+        run("paper (ppv≥0.8, 3/1 congruent)", LearnPolicy::default()),
+        run(
+            "loose (ppv≥0.5, 1/1 congruent)",
+            LearnPolicy {
+                min_ppv: 0.5,
+                congruent_without_cc: 1,
+                congruent_with_cc: 1,
+                ..Default::default()
+            },
+        ),
+        run(
+            "strict (ppv≥0.95, 5/3 congruent)",
+            LearnPolicy {
+                min_ppv: 0.95,
+                congruent_without_cc: 5,
+                congruent_with_cc: 3,
+                ..Default::default()
+            },
+        ),
+        // Ablation 4: ranking order.
+        run(
+            "rank: population→tp (no facility)",
+            LearnPolicy {
+                rank: RankOrder::PopulationTp,
+                ..Default::default()
+            },
+        ),
+        run(
+            "rank: tp→population",
+            LearnPolicy {
+                rank: RankOrder::TpPopulation,
+                ..Default::default()
+            },
+        ),
+    ];
 
     println!("\n# Ablations — stage-4 thresholds and candidate ranking\n");
     let mut t = Table::new(vec![
@@ -110,10 +108,7 @@ fn main() {
             name,
             format!("{learned}"),
             format!("{correct}"),
-            format!(
-                "{:.0}%",
-                100.0 * correct as f64 / learned.max(1) as f64
-            ),
+            format!("{:.0}%", 100.0 * correct as f64 / learned.max(1) as f64),
             format!("{tp:.1}"),
         ]);
     }

@@ -17,7 +17,9 @@ fn main() {
     eprintln!("generating ground-truth corpus…");
     let g = hoiho_bench::gt::corpus(&db);
     eprintln!("learning…");
-    let report = Hoiho::new(&db, &psl).learn_corpus(&g.corpus);
+    let report = hoiho_bench::learn_phase(&g.corpus.label, || {
+        Hoiho::new(&db, &psl).learn_corpus(&g.corpus)
+    });
 
     // suffix → operator hint table.
     let truth: HashMap<&str, HashMap<String, hoiho_geotypes::LocationId>> = g

@@ -141,7 +141,6 @@ pub fn suite(db: &GeoDb) -> Vec<OperatorSpec> {
         (Static("ip".into()), Dot),
     ]);
 
-
     vec![
         op(
             "gtt.net",
@@ -547,7 +546,9 @@ pub fn corpus(db: &GeoDb) -> Generated {
         provider_side_fraction: 0.01,
         ipv6: false,
     };
-    generate_with_operators(db, &spec, suite(db))
+    crate::phase("generate ground-truth", || {
+        generate_with_operators(db, &spec, suite(db))
+    })
 }
 
 #[cfg(test)]

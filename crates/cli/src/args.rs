@@ -4,7 +4,20 @@
 use std::collections::HashMap;
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--ipv6", "--no-learned-hints"];
+const BOOL_FLAGS: &[&str] = &["--ipv6", "--no-learned-hints", "--progress", "--trace"];
+
+/// Flags that take a value. Anything dash-prefixed outside both lists is
+/// an unknown flag — a usage error, not a positional.
+const VALUE_FLAGS: &[&str] = &[
+    "--routers",
+    "--operators",
+    "--seed",
+    "--towns",
+    "--corpus",
+    "--artifacts",
+    "--out",
+    "--metrics",
+];
 
 /// Parsed command-line options.
 #[derive(Debug, Default)]
@@ -21,10 +34,13 @@ impl Options {
         let mut o = Options::default();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
-            if let Some(stripped) = a.strip_prefix("--") {
+            if a == "-v" {
+                // Shorthand for --trace.
+                o.bools.push("--trace".to_string());
+            } else if let Some(stripped) = a.strip_prefix("--") {
                 if BOOL_FLAGS.contains(&a.as_str()) {
                     o.bools.push(a.clone());
-                } else {
+                } else if VALUE_FLAGS.contains(&a.as_str()) {
                     let v = it
                         .next()
                         .ok_or_else(|| format!("flag --{stripped} needs a value"))?;
@@ -32,7 +48,11 @@ impl Options {
                         return Err(format!("flag --{stripped} needs a value, got {v}"));
                     }
                     o.flags.insert(stripped.to_string(), v.clone());
+                } else {
+                    return Err(format!("unknown flag {a}"));
                 }
+            } else if a.starts_with('-') && a.len() > 1 {
+                return Err(format!("unknown flag {a}"));
             } else {
                 o.positional.push(a.clone());
             }
@@ -94,6 +114,25 @@ mod tests {
     fn missing_value_is_error() {
         assert!(Options::parse(&argv(&["--out"])).is_err());
         assert!(Options::parse(&argv(&["--out", "--ipv6"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let e = Options::parse(&argv(&["--frobnicate", "x"])).unwrap_err();
+        assert!(e.contains("unknown flag --frobnicate"), "{e}");
+        assert!(Options::parse(&argv(&["-x"])).is_err());
+        // A bare "-" is a conventional stdin placeholder, not a flag.
+        assert!(Options::parse(&argv(&["-"])).is_ok());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = Options::parse(&argv(&["--metrics", "m.jsonl", "--progress", "-v"])).unwrap();
+        assert_eq!(o.get("metrics"), Some("m.jsonl"));
+        assert!(o.has("--progress"));
+        assert!(o.has("--trace"), "-v must alias --trace");
+        let o = Options::parse(&argv(&["--trace"])).unwrap();
+        assert!(o.has("--trace"));
     }
 
     #[test]

@@ -14,6 +14,44 @@ use hoiho_psl::PublicSuffixList;
 use hoiho_rtt::ConsistencyPolicy;
 use std::io::Write as _;
 
+/// Attach observability sinks per the `--metrics`, `--progress`, and
+/// `-v/--trace` flags. Returns a guard whose `Drop` finishes the run:
+/// sinks flush their summary and `--trace` prints the span tree.
+fn setup_obs(opts: &Options) -> Result<ObsGuard, String> {
+    let reg = hoiho_obs::global();
+    if let Some(path) = opts.get("metrics") {
+        let sink =
+            hoiho_obs::JsonlSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        reg.add_sink(std::sync::Arc::new(sink));
+    }
+    if opts.has("--progress") {
+        reg.add_sink(std::sync::Arc::new(hoiho_obs::StderrProgressSink));
+    }
+    let trace = opts.has("--trace");
+    if trace {
+        reg.set_enabled(true);
+    }
+    Ok(ObsGuard { trace })
+}
+
+struct ObsGuard {
+    trace: bool,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let reg = hoiho_obs::global();
+        if !reg.enabled() {
+            return;
+        }
+        let snap = reg.finish();
+        if self.trace {
+            eprint!("{}", snap.render_span_tree());
+            eprint!("{}", snap.render_summary());
+        }
+    }
+}
+
 /// The dictionary, optionally extended with synthetic towns.
 fn dictionary(opts: &Options) -> Result<GeoDb, String> {
     let towns = opts.num("towns", 0)? as usize;
@@ -74,6 +112,7 @@ pub fn generate(opts: &Options) -> Result<(), String> {
 
 /// `hoiho learn`
 pub fn learn(opts: &Options) -> Result<(), String> {
+    let _obs = setup_obs(opts)?;
     let db = dictionary(opts)?;
     let psl = PublicSuffixList::builtin();
     let corpus = load_corpus(opts, db.len())?;
@@ -105,6 +144,7 @@ pub fn learn(opts: &Options) -> Result<(), String> {
 
 /// `hoiho apply`
 pub fn apply(opts: &Options) -> Result<(), String> {
+    let _obs = setup_obs(opts)?;
     let db = dictionary(opts)?;
     let psl = PublicSuffixList::builtin();
     let path = opts.require("artifacts")?;
@@ -160,6 +200,7 @@ pub fn stats(opts: &Options) -> Result<(), String> {
 
 /// `hoiho stale`
 pub fn stale(opts: &Options) -> Result<(), String> {
+    let _obs = setup_obs(opts)?;
     let db = dictionary(opts)?;
     let psl = PublicSuffixList::builtin();
     let corpus = load_corpus(opts, db.len())?;

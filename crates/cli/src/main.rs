@@ -37,10 +37,22 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&opts),
         "stale" => commands::stale(&opts),
         "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            return ExitCode::SUCCESS;
+            // Bare `help` prints usage and succeeds; there is no
+            // per-subcommand help, so `help learn` is a usage error.
+            if rest.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!(
+                "error: no per-subcommand help; run 'hoiho help'\n\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
         }
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => {
+            eprintln!("error: unknown subcommand '{other}'\n\n{}", usage());
+            return ExitCode::from(2);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -70,7 +82,12 @@ FLAGS:
   --no-learned-hints    disable stage 4 (the paper's ablation)
   --corpus FILE         corpus in the native corpus-v1 format
   --artifacts FILE      learned regexes + hints (hoiho-artifacts-v1)
-  --out FILE            output path"
+  --out FILE            output path
+
+OBSERVABILITY (learn/apply/stale):
+  --metrics FILE        write spans, counters, and histograms as JSON lines
+  --progress            live per-suffix progress and a summary on stderr
+  -v, --trace           print the span tree on exit"
 }
 
 /// Read hostnames from stdin, one per line.

@@ -27,10 +27,22 @@ fn full_flow() {
 
     // generate
     let out = Command::new(bin())
-        .args(["generate", "--routers", "2500", "--seed", "5", "--out", &corpus])
+        .args([
+            "generate",
+            "--routers",
+            "2500",
+            "--seed",
+            "5",
+            "--out",
+            &corpus,
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&corpus).expect("corpus written");
     assert!(text.starts_with("corpus-v1"));
 
@@ -48,7 +60,11 @@ fn full_flow() {
         .args(["learn", "--corpus", &corpus, "--out", &artifacts])
         .output()
         .expect("run learn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let art = std::fs::read_to_string(&artifacts).expect("artifacts written");
     assert!(art.starts_with("hoiho-artifacts-v1"));
     assert!(art.contains("suffix "), "no conventions learned:\n{art}");
@@ -107,4 +123,113 @@ fn bad_usage_fails_cleanly() {
     let out = Command::new(bin()).arg("help").output().expect("run");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage() {
+    // `help <subcommand>` is unsupported: exit 2, usage on stderr.
+    let out = Command::new(bin())
+        .args(["help", "learn"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown flags: exit 2, usage on stderr.
+    let out = Command::new(bin())
+        .args(["learn", "--frobnicate", "x"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --frobnicate"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+
+    // Unknown subcommand: also exit 2.
+    let out = Command::new(bin()).arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+
+    // No subcommand: exit 2.
+    let out = Command::new(bin()).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn learn_with_metrics_and_progress() {
+    let corpus = tmp("obs-corpus.txt");
+    let artifacts = tmp("obs-artifacts.txt");
+    let metrics = tmp("obs-metrics.jsonl");
+
+    let out = Command::new(bin())
+        .args([
+            "generate",
+            "--routers",
+            "1500",
+            "--seed",
+            "9",
+            "--out",
+            &corpus,
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(bin())
+        .args([
+            "learn",
+            "--corpus",
+            &corpus,
+            "--out",
+            &artifacts,
+            "--metrics",
+            &metrics,
+            "--progress",
+            "-v",
+        ])
+        .output()
+        .expect("run learn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --progress: live per-suffix updates; -v: span tree at the end.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[hoiho] suffix 1/"), "{stderr}");
+    assert!(stderr.contains("-- span tree --"), "{stderr}");
+    assert!(stderr.contains("learn.suffix"), "{stderr}");
+
+    // --metrics: one JSON object per line with stable leading field.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    for needle in [
+        r#""type":"span""#,
+        r#""name":"learn.suffix""#,
+        r#""type":"counter""#,
+        r#""name":"itdk.parse.routers""#,
+        r#""name":"learn.candidates_generated""#,
+        r#""name":"learn.candidates_deduped""#,
+        r#""name":"eval.hosts""#,
+        r#""name":"eval.tp""#,
+        r#""name":"rtt.consistency.accept""#,
+        r#""type":"histogram""#,
+        r#""type":"span_total""#,
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_file(&artifacts).ok();
+    std::fs::remove_file(&metrics).ok();
 }

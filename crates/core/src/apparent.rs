@@ -131,6 +131,7 @@ pub fn tag_prefix(
     tags
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_consistent(
     db: &GeoDb,
     vps: &VpSet,

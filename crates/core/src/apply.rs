@@ -104,10 +104,17 @@ impl Geolocator {
         psl: &PublicSuffixList,
         hostname: &str,
     ) -> Option<GeoInference> {
+        let obs = hoiho_obs::enabled();
+        if obs {
+            hoiho_obs::counter!("apply.lookups").inc();
+        }
         let hostname = hostname.to_ascii_lowercase();
         let suffix = psl.registerable_suffix(&hostname)?;
         let geo = self.map.get(&suffix)?;
         let e = geo.nc.extract(&hostname)?;
+        if obs {
+            hoiho_obs::counter!("apply.matched").inc();
+        }
         let learned_hint = geo.learned.get(&e.hint, e.ty).is_some();
         let mut locs = decode(db, Some(&geo.learned), &e);
         if locs.is_empty() {
@@ -134,6 +141,12 @@ impl Geolocator {
                 .then_with(|| db.location(*b).population.cmp(&db.location(*a).population))
         });
         let location = locs[0];
+        if obs {
+            hoiho_obs::counter!("apply.resolved").inc();
+            if learned_hint {
+                hoiho_obs::counter!("apply.resolved_learned_hint").inc();
+            }
+        }
         Some(GeoInference {
             location,
             coords: db.location(location).coords,

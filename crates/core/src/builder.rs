@@ -122,6 +122,9 @@ pub fn base_regexes_for_host(prefix: &str, tags: &[Tag], suffix: &str) -> Vec<Ge
     // Dedup by pattern text.
     let mut seen = std::collections::HashSet::new();
     out.retain(|r| seen.insert(r.regex.as_pattern()));
+    if hoiho_obs::enabled() {
+        hoiho_obs::counter!("builder.base_regexes").add(out.len() as u64);
+    }
     out
 }
 
@@ -241,6 +244,7 @@ pub fn merge_digit_optional(cands: &[GeoRegex]) -> Vec<GeoRegex> {
             }
         }
     }
+    hoiho_obs::add("builder.digit_merges", out.len() as u64);
     out
 }
 
@@ -311,6 +315,7 @@ pub fn embed_character_classes(hosts: &[TrainHost], cand: &GeoRegex) -> Option<G
     if !changed {
         return None;
     }
+    hoiho_obs::inc("builder.class_refinements");
     Some(GeoRegex {
         regex: Regex::from_ast(Ast::seq(new_items)),
         plan: cand.plan.clone(),

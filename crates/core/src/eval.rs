@@ -191,6 +191,18 @@ pub fn eval_nc(
         metrics.add(outcome, ext.as_ref().map(|e| e.hint.as_str()));
         per_host.push((ext, outcome, which));
     }
+    // One batch of counter updates per evaluation, not per host: eval_nc
+    // runs once per candidate regex, so per-host counting would dominate.
+    if hoiho_obs::enabled() {
+        hoiho_obs::counter!("eval.evaluations").inc();
+        hoiho_obs::counter!("eval.hosts").add(hosts.len() as u64);
+        hoiho_obs::counter!("eval.matches")
+            .add(per_host.iter().filter(|(e, _, _)| e.is_some()).count() as u64);
+        hoiho_obs::counter!("eval.tp").add(metrics.tp as u64);
+        hoiho_obs::counter!("eval.fp").add(metrics.fp as u64);
+        hoiho_obs::counter!("eval.fn").add(metrics.fn_ as u64);
+        hoiho_obs::counter!("eval.unk").add(metrics.unk as u64);
+    }
     EvalResult { metrics, per_host }
 }
 

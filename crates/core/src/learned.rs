@@ -163,6 +163,7 @@ pub fn learn_hints(
     // Stable order: hash-map iteration must not influence results.
     let mut groups: Vec<(String, Group)> = groups.into_iter().collect();
     groups.sort_by(|a, b| a.0.cmp(&b.0));
+    hoiho_obs::add("learned.candidate_tokens", groups.len() as u64);
     for (token, g) in groups {
         let candidates = candidate_locations(db, &token, g.ty);
         if candidates.is_empty() {
@@ -245,6 +246,7 @@ pub fn learn_hints(
             existing_tp,
         });
     }
+    hoiho_obs::add("learned.hints_accepted", out.len() as u64);
     out
 }
 

@@ -152,10 +152,12 @@ impl<'a> Hoiho<'a> {
 
     /// Run all five stages over a corpus.
     pub fn learn_corpus(&self, corpus: &Corpus) -> LearnReport {
+        let _learn_span = hoiho_obs::span("learn");
         // Measurement hygiene first: drop VPs whose RTTs are physically
         // implausible across the whole campaign (spoofing middleboxes).
         let mut spoofed_vps = Vec::new();
         let sanitized: Option<Corpus> = if self.opts.filter_spoofed_vps {
+            let _span = hoiho_obs::span("learn.filter_vps");
             let refs: Vec<&hoiho_rtt::RouterRtts> =
                 corpus.routers.iter().map(|r| &r.rtts).collect();
             spoofed_vps =
@@ -175,7 +177,16 @@ impl<'a> Hoiho<'a> {
             None
         };
         let corpus = sanitized.as_ref().unwrap_or(corpus);
-        let sets = build_training_sets(self.db, self.psl, corpus, &self.opts.policy);
+        if hoiho_obs::enabled() && !spoofed_vps.is_empty() {
+            hoiho_obs::progress(format!(
+                "discarded {} spoofing vantage point(s)",
+                spoofed_vps.len()
+            ));
+        }
+        let sets = {
+            let _span = hoiho_obs::span("learn.train");
+            build_training_sets(self.db, self.psl, corpus, &self.opts.policy)
+        };
 
         let mut routers_with_apparent: HashSet<u32> = HashSet::new();
         for s in &sets {
@@ -212,6 +223,7 @@ impl<'a> Hoiho<'a> {
     /// are independent, so results are identical to the sequential
     /// order-preserving loop.
     fn learn_all(&self, vps: &VpSet, sets: &[SuffixSet]) -> Vec<SuffixResult> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let threads = if self.opts.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -220,15 +232,38 @@ impl<'a> Hoiho<'a> {
             self.opts.threads
         }
         .min(sets.len().max(1));
+        let done = AtomicUsize::new(0);
+        let report = |result: &SuffixResult, done: &AtomicUsize| {
+            if hoiho_obs::enabled() {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                hoiho_obs::progress(format!(
+                    "suffix {}/{}: {} ({} hosts, {} tagged, {:?})",
+                    n,
+                    sets.len(),
+                    result.suffix,
+                    result.hosts,
+                    result.tagged_hosts,
+                    result.class
+                ));
+            }
+        };
         if threads <= 1 || sets.len() < 4 {
-            return sets.iter().map(|s| self.learn_suffix(vps, s)).collect();
+            return sets
+                .iter()
+                .map(|s| {
+                    let r = self.learn_suffix(vps, s);
+                    report(&r, &done);
+                    r
+                })
+                .collect();
         }
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, SuffixResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let next = &next;
+                    let done = &done;
+                    let report = &report;
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         loop {
@@ -236,7 +271,9 @@ impl<'a> Hoiho<'a> {
                             if i >= sets.len() {
                                 break;
                             }
-                            local.push((i, self.learn_suffix(vps, &sets[i])));
+                            let r = self.learn_suffix(vps, &sets[i]);
+                            report(&r, done);
+                            local.push((i, r));
                         }
                         local
                     })
@@ -270,8 +307,10 @@ impl<'a> Hoiho<'a> {
         if tagged < self.opts.min_tagged {
             return empty(NcClass::Poor);
         }
+        let _suffix_span = hoiho_obs::span_detail("learn.suffix", set.suffix.clone());
 
         // Phase 1: base regexes, deduplicated, most-generated first.
+        let phase1 = hoiho_obs::span("learn.suffix.phase1");
         let mut counts: HashMap<String, (GeoRegex, usize)> = HashMap::new();
         for h in hosts {
             if !h.is_tagged() {
@@ -281,7 +320,12 @@ impl<'a> Hoiho<'a> {
                 counts.entry(r.regex.as_pattern()).or_insert((r, 0)).1 += 1;
             }
         }
-        let mut cands: Vec<(GeoRegex, usize)> = counts.into_values().map(|(r, c)| (r, c)).collect();
+        let mut cands: Vec<(GeoRegex, usize)> = counts.into_values().collect();
+        if hoiho_obs::enabled() {
+            hoiho_obs::counter!("learn.candidates_generated")
+                .add(cands.iter().map(|(_, c)| *c as u64).sum());
+            hoiho_obs::counter!("learn.candidates_deduped").add(cands.len() as u64);
+        }
         // Tie-break by pattern text so results do not depend on hash
         // iteration order.
         cands.sort_by(|a, b| {
@@ -300,11 +344,13 @@ impl<'a> Hoiho<'a> {
                 evals.push((r.clone(), e));
             }
         }
+        drop(phase1);
         if evals.is_empty() {
             return empty(NcClass::Poor);
         }
 
         // Phase 2: digit-optional merges.
+        let phase2 = hoiho_obs::span("learn.suffix.phase2");
         let singles: Vec<GeoRegex> = evals.iter().map(|(r, _)| r.clone()).collect();
         for m in merge_digit_optional(&singles) {
             if seen.insert(m.regex.as_pattern()) {
@@ -322,6 +368,7 @@ impl<'a> Hoiho<'a> {
                 }
             }
         }
+        drop(phase2);
 
         evals.sort_by(|a, b| {
             b.1.metrics
@@ -331,6 +378,7 @@ impl<'a> Hoiho<'a> {
         });
 
         // Phase 3: refine the leaders.
+        let phase3 = hoiho_obs::span("learn.suffix.phase3");
         let mut refined = Vec::new();
         for (r, _) in evals.iter().take(self.opts.refine_top) {
             if let Some(n) = embed_character_classes(hosts, r) {
@@ -350,7 +398,9 @@ impl<'a> Hoiho<'a> {
                 }
             }
         }
+        hoiho_obs::add("learn.candidates_refined", refined.len() as u64);
         evals.extend(refined);
+        drop(phase3);
         evals.sort_by(|a, b| {
             b.1.metrics
                 .atp()
@@ -359,9 +409,12 @@ impl<'a> Hoiho<'a> {
         });
 
         // Phase 4 + stage 5.
+        let phase4 = hoiho_obs::span("learn.suffix.phase4");
         let ncs =
             crate::sets::build_sets(self.db, vps, &self.opts.policy, hosts, &set.suffix, &evals);
-        let Some((nc, mut eval)) = select_nc(ncs) else {
+        let selected = select_nc(ncs);
+        drop(phase4);
+        let Some((nc, mut eval)) = selected else {
             return empty(NcClass::Poor);
         };
 
@@ -371,6 +424,7 @@ impl<'a> Hoiho<'a> {
             && eval.metrics.unique_hints.len() >= 3
             && eval.metrics.ppv() > 0.40
         {
+            let _hints_span = hoiho_obs::span("learn.suffix.hints");
             learned = learn_hints(
                 self.db,
                 vps,

@@ -211,7 +211,7 @@ mod tests {
         let psl = PublicSuffixList::builtin();
         let spec = CorpusSpec {
             label: "clean-test".into(),
-            seed: 0xC1ea,
+            seed: 0xC1EA,
             operators: 6,
             routers: 400,
             geo_operator_fraction: 1.0,

@@ -1,19 +1,52 @@
 //! Robustness properties of the dictionary-format parsers: they must
 //! never panic, whatever bytes arrive, and well-formed rows must load.
+//! Cases come from a seeded local PRNG (no property-testing framework
+//! in the offline build).
 
 use hoiho_geodb::formats::{
-    parse_geonames_tsv, parse_ourairports_csv, parse_unlocode_coords, parse_unlocode_csv,
-    split_csv,
+    parse_geonames_tsv, parse_ourairports_csv, parse_unlocode_coords, parse_unlocode_csv, split_csv,
 };
 use hoiho_geodb::GeoDbBuilder;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Minimal SplitMix64 string/number generator for deterministic cases.
+struct Mix(u64);
 
-    /// Arbitrary text through every parser: Ok or Err, never a panic.
-    #[test]
-    fn parsers_are_total(text in "[ -~\\n\"\\t]{0,300}") {
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn string(&mut self, charset: &[u8], min: usize, max: usize) -> String {
+        let len = min + self.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| charset[self.below(charset.len() as u64) as usize] as char)
+            .collect()
+    }
+}
+
+const CASES: usize = 256;
+
+/// Arbitrary text through every parser: Ok or Err, never a panic.
+#[test]
+fn parsers_are_total() {
+    // Printable ASCII plus newline, quote, tab — the fuzz alphabet the
+    // proptest version used.
+    let alphabet: Vec<u8> = (b' '..=b'~').chain([b'\n', b'"', b'\t']).collect();
+    let mut rng = Mix(0xF0F0);
+    for _ in 0..CASES {
+        let text = rng.string(&alphabet, 0, 300);
         let mut b = GeoDbBuilder::new();
         let _ = parse_ourairports_csv(&mut b, &text);
         let mut b = GeoDbBuilder::new();
@@ -22,51 +55,75 @@ proptest! {
         let _ = parse_geonames_tsv(&mut b, &text);
         let _ = parse_unlocode_coords(&text);
     }
+}
 
-    /// CSV splitting: joining unquoted fields back with commas is the
-    /// inverse of splitting.
-    #[test]
-    fn csv_split_roundtrip(fields in proptest::collection::vec("[a-z0-9 ]{0,8}", 1..6)) {
+/// CSV splitting: joining unquoted fields back with commas is the
+/// inverse of splitting.
+#[test]
+fn csv_split_roundtrip() {
+    let mut rng = Mix(0xC5F);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(5) as usize;
+        let fields: Vec<String> = (0..n)
+            .map(|_| rng.string(b"abcdefghijklmnopqrstuvwxyz0123456789 ", 0, 8))
+            .collect();
         let line = fields.join(",");
-        prop_assert_eq!(split_csv(&line), fields);
+        assert_eq!(split_csv(&line), fields);
     }
+}
 
-    /// Quoted fields containing commas survive splitting.
-    #[test]
-    fn csv_quoted_commas(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
+/// Quoted fields containing commas survive splitting.
+#[test]
+fn csv_quoted_commas() {
+    let mut rng = Mix(0x0c0);
+    for _ in 0..CASES {
+        let a = rng.string(b"abcdefghijklmnopqrstuvwxyz", 1, 6);
+        let b = rng.string(b"abcdefghijklmnopqrstuvwxyz", 1, 6);
         let line = format!("x,\"{a},{b}\",y");
-        prop_assert_eq!(split_csv(&line), vec!["x".to_string(), format!("{a},{b}"), "y".to_string()]);
+        assert_eq!(
+            split_csv(&line),
+            vec!["x".to_string(), format!("{a},{b}"), "y".to_string()]
+        );
     }
+}
 
-    /// Well-formed GeoNames rows always load and index their city.
-    #[test]
-    fn geonames_wellformed_rows_load(
-        name in "[A-Z][a-z]{2,10}",
-        lat in -89.0f64..89.0,
-        lon in -179.0f64..179.0,
-        pop in 0u64..10_000_000,
-    ) {
+/// Well-formed GeoNames rows always load and index their city.
+#[test]
+fn geonames_wellformed_rows_load() {
+    let mut rng = Mix(0x6E0);
+    for _ in 0..CASES {
+        let head = rng.string(b"ABCDEFGHIJKLMNOPQRSTUVWXYZ", 1, 1);
+        let tail = rng.string(b"abcdefghijklmnopqrstuvwxyz", 2, 10);
+        let name = format!("{head}{tail}");
+        let lat = -89.0 + rng.unit() * 178.0;
+        let lon = -179.0 + rng.unit() * 358.0;
+        let pop = rng.below(10_000_000);
         let row = format!(
             "1\t{name}\t{name}\t\t{lat:.4}\t{lon:.4}\tP\tPPL\tUS\t\tCA\t1\t\t\t{pop}\t\t10\tTZ\t2020-01-01"
         );
         let mut b = GeoDbBuilder::new();
         let n = parse_geonames_tsv(&mut b, &row).unwrap();
-        prop_assert_eq!(n, 1);
+        assert_eq!(n, 1);
         let db = b.build();
         let hits = db.lookup(&name.to_ascii_lowercase());
-        prop_assert!(!hits.is_empty());
+        assert!(!hits.is_empty(), "{name} not indexed");
         let l = db.location(hits[0].location);
-        prop_assert_eq!(l.population, pop);
-        prop_assert!((l.coords.lat() - lat).abs() < 1e-3);
+        assert_eq!(l.population, pop);
+        assert!((l.coords.lat() - lat).abs() < 1e-3);
     }
+}
 
-    /// UN/LOCODE coordinate decoding round-trips within a minute of arc.
-    #[test]
-    fn unlocode_coords_roundtrip(
-        latd in 0u32..90, latm in 0u32..60,
-        lond in 0u32..180, lonm in 0u32..60,
-        south in proptest::bool::ANY, west in proptest::bool::ANY,
-    ) {
+/// UN/LOCODE coordinate decoding round-trips within a minute of arc.
+#[test]
+fn unlocode_coords_roundtrip() {
+    let mut rng = Mix(0x10C0);
+    for _ in 0..CASES {
+        let latd = rng.below(90) as u32;
+        let latm = rng.below(60) as u32;
+        let lond = rng.below(180) as u32;
+        let lonm = rng.below(60) as u32;
+        let south = rng.below(2) == 1;
+        let west = rng.below(2) == 1;
         let s = format!(
             "{latd:02}{latm:02}{} {lond:03}{lonm:02}{}",
             if south { "S" } else { "N" },
@@ -75,19 +132,32 @@ proptest! {
         let c = parse_unlocode_coords(&s).expect("valid form");
         let want_lat = (latd as f64 + latm as f64 / 60.0) * if south { -1.0 } else { 1.0 };
         let want_lon = (lond as f64 + lonm as f64 / 60.0) * if west { -1.0 } else { 1.0 };
-        prop_assert!((c.lat() - want_lat.clamp(-90.0, 90.0)).abs() < 1e-6);
+        assert!((c.lat() - want_lat.clamp(-90.0, 90.0)).abs() < 1e-6);
         if want_lon.abs() < 180.0 - 1e-9 {
-            prop_assert!((c.lon() - want_lon).abs() < 1e-6);
+            assert!((c.lon() - want_lon).abs() < 1e-6);
         }
     }
+}
 
-    /// The abbreviation matcher is total and symmetric in trivial cases.
-    #[test]
-    fn abbreviation_matcher_is_total(a in "[a-z]{0,10}", b in "[A-Za-z ]{0,16}") {
+/// The abbreviation matcher is total and symmetric in trivial cases.
+#[test]
+fn abbreviation_matcher_is_total() {
+    let mut rng = Mix(0xABB);
+    for _ in 0..CASES {
+        let a = rng.string(b"abcdefghijklmnopqrstuvwxyz", 0, 10);
+        let b = rng.string(
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz ",
+            0,
+            16,
+        );
         let _ = hoiho_geodb::is_abbreviation(&a, &b, &Default::default());
         // A name always abbreviates itself (when alphabetic, single word).
         if !b.is_empty() && b.chars().all(|c| c.is_ascii_alphabetic()) {
-            prop_assert!(hoiho_geodb::is_abbreviation(&b.to_ascii_lowercase(), &b, &Default::default()));
+            assert!(hoiho_geodb::is_abbreviation(
+                &b.to_ascii_lowercase(),
+                &b,
+                &Default::default()
+            ));
         }
     }
 }

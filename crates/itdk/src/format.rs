@@ -157,6 +157,7 @@ fn write_rtts(out: &mut String, tag: &str, rtts: &RouterRtts) -> std::fmt::Resul
 
 /// Parse the native `corpus-v1` format.
 pub fn parse_corpus(text: &str) -> Result<Corpus, CorpusParseError> {
+    let _span = hoiho_obs::span("itdk.parse_corpus");
     let err = |line: usize, msg: &str| CorpusParseError {
         line,
         msg: msg.to_string(),
@@ -274,6 +275,33 @@ pub fn parse_corpus(text: &str) -> Result<Corpus, CorpusParseError> {
             other => return Err(err(ln, &format!("unknown record '{other}'"))),
         }
     }
+    hoiho_obs::add("itdk.parse.vps", corpus.vps.len() as u64);
+    hoiho_obs::add("itdk.parse.routers", corpus.routers.len() as u64);
+    hoiho_obs::add(
+        "itdk.parse.interfaces",
+        corpus
+            .routers
+            .iter()
+            .map(|r| r.interfaces.len() as u64)
+            .sum(),
+    );
+    hoiho_obs::add(
+        "itdk.parse.hostnames",
+        corpus
+            .routers
+            .iter()
+            .flat_map(|r| &r.interfaces)
+            .filter(|i| i.hostname.is_some())
+            .count() as u64,
+    );
+    hoiho_obs::add(
+        "itdk.parse.rtt_samples",
+        corpus
+            .routers
+            .iter()
+            .map(|r| (r.rtts.len() + r.traceroute_rtts.len()) as u64)
+            .sum(),
+    );
     Ok(corpus)
 }
 

@@ -10,9 +10,8 @@ use crate::spec::{custom_hint_for, CorpusSpec, Layout, NamingStyle, OperatorSpec
 use crate::{Corpus, HostnameTruth, Interface, Router};
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::{Coordinates, LocationId, LocationKind};
+use hoiho_rtt::rng::{Rng, StdRng};
 use hoiho_rtt::{model::RttModel, observe::ObservationModel, RouterRtts, VpSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Everything the generator produced: the corpus plus the operator
@@ -385,10 +384,8 @@ fn make_operators(
         .collect();
 
     let mut out = Vec::with_capacity(spec.operators);
-    for i in 0..spec.operators {
-        let router_count = ((weights[i] / total_w) * spec.routers as f64)
-            .round()
-            .max(1.0) as usize;
+    for (i, &weight) in weights.iter().enumerate().take(spec.operators) {
+        let router_count = ((weight / total_w) * spec.routers as f64).round().max(1.0) as usize;
         let geo = rng.random::<f64>() < spec.geo_operator_fraction;
         let style = if geo {
             style_for_geo_operator(rng)
@@ -514,10 +511,9 @@ fn make_operators(
                 NamingStyle::NoGeo => (Some(String::new()), false),
             };
             let Some(hint) = hint else { continue };
-            if style != NamingStyle::NoGeo {
-                if hint.is_empty() || !used_hints.insert(hint.clone()) {
-                    continue;
-                }
+            if style != NamingStyle::NoGeo && (hint.is_empty() || !used_hints.insert(hint.clone()))
+            {
+                continue;
             }
             customs += custom as usize;
             pops.push(Pop {

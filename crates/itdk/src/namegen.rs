@@ -8,7 +8,7 @@
 use crate::spec::{DigitMode, Layout, Pop, Seg, Sep};
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::LocationId;
-use rand::Rng;
+use hoiho_rtt::rng::Rng;
 
 /// Per-operator naming vocabulary.
 #[derive(Debug, Clone)]
@@ -228,8 +228,7 @@ mod tests {
     use super::*;
     use crate::spec::{Layout, NamingStyle};
     use hoiho_geotypes::GeohintType;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hoiho_rtt::rng::StdRng;
 
     fn db() -> GeoDb {
         GeoDb::builtin()

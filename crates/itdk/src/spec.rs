@@ -7,7 +7,7 @@
 
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::{GeohintType, LocationId};
-use rand::Rng;
+use hoiho_rtt::rng::Rng;
 use std::collections::HashMap;
 
 /// The dictionary style an operator embeds (§2).
@@ -317,7 +317,7 @@ impl CorpusSpec {
     pub fn ipv4_aug2020(scale: usize) -> CorpusSpec {
         CorpusSpec {
             label: "ipv4-aug2020".into(),
-            seed: 0x2020_08,
+            seed: 0x202008,
             operators: (scale / 55).clamp(30, 4000),
             routers: scale,
             geo_operator_fraction: 0.22,
@@ -337,7 +337,7 @@ impl CorpusSpec {
     pub fn ipv4_mar2021(scale: usize) -> CorpusSpec {
         CorpusSpec {
             label: "ipv4-mar2021".into(),
-            seed: 0x2021_03,
+            seed: 0x202103,
             hostname_rate: 0.541,
             vps: 100,
             ..CorpusSpec::ipv4_aug2020(scale)
@@ -348,7 +348,7 @@ impl CorpusSpec {
     pub fn ipv6_nov2020(scale: usize) -> CorpusSpec {
         CorpusSpec {
             label: "ipv6-nov2020".into(),
-            seed: 0x2020_11,
+            seed: 0x202011,
             operators: (scale / 70).clamp(15, 1500),
             routers: scale,
             geo_operator_fraction: 0.48,
@@ -368,7 +368,7 @@ impl CorpusSpec {
     pub fn ipv6_mar2021(scale: usize) -> CorpusSpec {
         CorpusSpec {
             label: "ipv6-mar2021".into(),
-            seed: 0x2021_63,
+            seed: 0x202163,
             hostname_rate: 0.16,
             rtt_response_rate: 0.452,
             vps: 39,
@@ -476,8 +476,7 @@ pub fn custom_hint_for<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use hoiho_rtt::rng::StdRng;
 
     #[test]
     fn layouts_exist_for_all_styles() {

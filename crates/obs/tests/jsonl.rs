@@ -1,0 +1,157 @@
+//! Snapshot-style test for the JSONL sink: every line must be a JSON
+//! object with a fixed, stable field order, and escaping must keep the
+//! output parseable line-by-line.
+
+use hoiho_obs::{JsonlSink, Registry};
+use std::sync::{Arc, Mutex};
+
+/// A `Write` handle over a shared buffer, so the test can read back
+/// what the sink wrote.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_and_capture() -> String {
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let reg = Registry::new();
+    reg.add_sink(Arc::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+
+    {
+        let _outer = reg.span("learn");
+        let _inner = reg.span_detail("learn.suffix", "example \"net\"\t".into());
+        reg.add("eval.tp", 7);
+        reg.add("eval.fp", 2);
+        reg.record("suffix_us", 1500);
+        reg.progress("suffix 1/1: example.net".into());
+    }
+    reg.finish();
+    let bytes = buf.0.lock().unwrap().clone();
+    String::from_utf8(bytes).unwrap()
+}
+
+/// Minimal check that a line is one flat JSON object: balanced braces,
+/// quoted keys, and no raw control characters.
+fn assert_parseable_object(line: &str) {
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(
+        !line.bytes().any(|b| b < 0x20),
+        "raw control byte in: {line:?}"
+    );
+    // Keys are everything of the form "key": — every line has a type.
+    assert!(line.starts_with("{\"type\":\""), "{line}");
+    // Quotes must be balanced once escapes are accounted for.
+    let mut quotes = 0usize;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => quotes += 1,
+            _ => escaped = false,
+        }
+        if c != '\\' {
+            escaped = false;
+        }
+    }
+    assert_eq!(quotes % 2, 0, "unbalanced quotes in: {line}");
+}
+
+#[test]
+fn jsonl_lines_are_stable_and_parseable() {
+    let text = run_and_capture();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert_parseable_object(line);
+    }
+
+    // Live events come in emission order: the progress line fires
+    // inside the spans, the inner span closes next, then the outer.
+    // Finish appends counters, histograms, span totals.
+    assert!(
+        lines[0].starts_with("{\"type\":\"progress\",\"msg\":\"suffix 1/1: example.net\"}"),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].starts_with("{\"type\":\"span\",\"path\":\"learn/learn.suffix\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"detail\":\"example \\\"net\\\"\\t\""));
+    assert!(
+        lines[2].starts_with("{\"type\":\"span\",\"path\":\"learn\",\"name\":\"learn\""),
+        "{}",
+        lines[2]
+    );
+
+    let counter_lines: Vec<&str> = lines
+        .iter()
+        .copied()
+        .filter(|l| l.starts_with("{\"type\":\"counter\""))
+        .collect();
+    assert_eq!(counter_lines.len(), 2);
+    // Counters are sorted by name and use name-then-value order.
+    assert!(counter_lines[0].starts_with("{\"type\":\"counter\",\"name\":\"eval.fp\",\"value\":2}"));
+    assert!(counter_lines[1].starts_with("{\"type\":\"counter\",\"name\":\"eval.tp\",\"value\":7}"));
+
+    let hist: Vec<&str> = lines
+        .iter()
+        .copied()
+        .filter(|l| l.starts_with("{\"type\":\"histogram\""))
+        .collect();
+    // Span durations feed histograms too; the explicit one must be there.
+    let h = hist
+        .iter()
+        .find(|l| l.contains("\"name\":\"suffix_us\""))
+        .expect("suffix_us histogram line");
+    assert!(
+        h.starts_with(
+            "{\"type\":\"histogram\",\"name\":\"suffix_us\",\"count\":1,\"sum_us\":1500,"
+        ),
+        "{h}"
+    );
+    for key in ["\"p50_us\":", "\"p90_us\":", "\"p99_us\":", "\"max_us\":"] {
+        assert!(h.contains(key), "{h}");
+    }
+
+    let totals: Vec<&str> = lines
+        .iter()
+        .copied()
+        .filter(|l| l.starts_with("{\"type\":\"span_total\""))
+        .collect();
+    assert_eq!(totals.len(), 2, "{text}");
+    for t in &totals {
+        assert!(t.contains("\"count\":1"), "{t}");
+        assert!(t.contains("\"total_us\":"), "{t}");
+    }
+}
+
+#[test]
+fn two_runs_emit_identical_shape() {
+    // Byte-stability modulo timing: strip the numeric `us` fields and
+    // the two captures must be identical.
+    let strip = |s: &str| {
+        let mut out = String::new();
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            out.push(c);
+            if c == ':' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    chars.next();
+                }
+                out.push('N');
+            }
+        }
+        out
+    };
+    assert_eq!(strip(&run_and_capture()), strip(&run_and_capture()));
+}

@@ -86,18 +86,16 @@ impl PublicSuffixList {
             let key = labels[start..].join(".");
             match self.rules.get(&key) {
                 Some(Rule::Normal) => best = best.max(labels.len() - start),
-                Some(Rule::Wildcard) => {
-                    // The wildcard extends one label further left.
-                    if start > 0 {
-                        best = best.max(labels.len() - start + 1);
-                    }
+                // The wildcard extends one label further left.
+                Some(Rule::Wildcard) if start > 0 => {
+                    best = best.max(labels.len() - start + 1);
                 }
                 Some(Rule::Exception) => {
                     // Exception: the public suffix is the rule minus its
                     // leftmost label.
                     return labels.len() - start - 1;
                 }
-                None => {}
+                _ => {}
             }
         }
         best

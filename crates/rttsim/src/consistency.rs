@@ -57,10 +57,20 @@ pub fn rtt_consistent(
     candidate: &Coordinates,
     policy: &ConsistencyPolicy,
 ) -> bool {
-    samples.samples().iter().all(|(vp, measured)| {
+    let ok = samples.samples().iter().all(|(vp, measured)| {
         let best = best_case_rtt_ms(&vps.get(*vp).coords, candidate) * policy.bestcase_factor;
         best <= measured.as_ms() + policy.slack_ms
-    })
+    });
+    // This predicate runs in the innermost learner loops, so even a
+    // cached atomic add is only paid when observability is on.
+    if hoiho_obs::enabled() {
+        if ok {
+            hoiho_obs::counter!("rtt.consistency.accept").inc();
+        } else {
+            hoiho_obs::counter!("rtt.consistency.reject").inc();
+        }
+    }
+    ok
 }
 
 /// The subset of `candidates` that survive the feasibility test.

@@ -7,9 +7,9 @@
 //! sketches as future work (flag VPs whose RTTs are implausibly constant
 //! across targets at very different distances).
 
+use crate::rng::Rng;
 use crate::{RouterRtts, VpId, VpSet};
 use hoiho_geotypes::{Coordinates, Rtt};
-use rand::Rng;
 
 /// Replace the samples of `spoofed_vps` in a measurement with constant
 /// near-zero RTTs, as a spoofing middlebox would.
@@ -102,6 +102,8 @@ pub fn detect_spoofing_vps_blind(
             flagged.push(vp_id);
         }
     }
+    hoiho_obs::add("rtt.spoof.vps_checked", vps.len() as u64);
+    hoiho_obs::add("rtt.spoof.vps_flagged", flagged.len() as u64);
     flagged
 }
 
@@ -114,15 +116,17 @@ pub fn strip_vps(samples: &RouterRtts, bad: &[VpId]) -> RouterRtts {
             out.record(*vp, *rtt);
         }
     }
+    if hoiho_obs::enabled() {
+        hoiho_obs::counter!("rtt.spoof.samples_stripped").add((samples.len() - out.len()) as u64);
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::StdRng;
     use crate::RttModel;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn world() -> VpSet {
         let mut vps = VpSet::new();

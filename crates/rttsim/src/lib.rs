@@ -18,6 +18,7 @@ pub mod consistency;
 pub mod fault;
 pub mod model;
 pub mod observe;
+pub mod rng;
 
 pub use cbg::{cbg_estimate, shortest_ping, CbgEstimate};
 pub use consistency::{rtt_consistent, ConsistencyPolicy};

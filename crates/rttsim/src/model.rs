@@ -7,9 +7,9 @@
 //! the paper's feasibility test relies on: **a measured RTT is never
 //! below the theoretical best case.**
 
+use crate::rng::Rng;
 use crate::{RouterRtts, VpId, VpSet};
 use hoiho_geotypes::{rtt::best_case_rtt_ms, Coordinates, Rtt};
-use rand::Rng;
 
 /// Parameters of the measurement model.
 #[derive(Debug, Clone)]
@@ -99,8 +99,7 @@ impl RttModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xB0A7)

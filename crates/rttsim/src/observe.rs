@@ -10,9 +10,9 @@
 //! with what (inflated) RTT, so the fig-5 comparison and the DRoP
 //! baseline can be reproduced.
 
+use crate::rng::Rng;
 use crate::{RouterRtts, RttModel, VpSet};
 use hoiho_geotypes::{Coordinates, Rtt};
-use rand::Rng;
 
 /// Parameters of the traceroute observation model.
 #[derive(Debug, Clone)]
@@ -85,8 +85,7 @@ impl ObservationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     fn world() -> VpSet {
         let coords = [

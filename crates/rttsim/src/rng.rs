@@ -1,0 +1,186 @@
+//! Self-contained deterministic PRNG used across the workspace.
+//!
+//! The build environment is offline, so we cannot depend on the `rand`
+//! crate. This module provides the small surface the simulators need —
+//! seedable generator, uniform floats in `[0, 1)`, raw `u64`s, and
+//! integer ranges — with the same method names `rand 0.9` exposed
+//! (`StdRng::seed_from_u64`, `Rng::random`, `Rng::random_range`) so call
+//! sites read identically.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), state-seeded with
+//! SplitMix64 as its authors recommend. Sequences differ from the `rand`
+//! crate's ChaCha12-based `StdRng`, so seeded corpora generated before
+//! this module existed are not byte-identical; every consumer in this
+//! repository asserts distributional properties rather than exact
+//! streams.
+
+use std::ops::Range;
+
+/// A seedable xoshiro256++ generator. The name mirrors `rand::rngs::StdRng`
+/// so existing call sites keep reading naturally.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Uniform random drawing. Implemented by [`StdRng`]; generic code takes
+/// `R: Rng + ?Sized` exactly as it did with the external crate.
+pub trait Rng {
+    /// The raw generator output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its natural domain: `f64` in `[0, 1)`
+    /// with 53 bits of precision, `u64` over all values.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "random_range called with empty range");
+        let width = hi - lo;
+        // Unbiased enough for simulation use: map the full 64-bit draw
+        // onto the width with a widening multiply.
+        let v = ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64;
+        T::from_u64(lo + v)
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types [`Rng::random_range`] accepts.
+pub trait UniformInt: Copy {
+    /// Widen to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrow from `u64`; the value is guaranteed in-range by construction.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval_and_well_spread() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = r.random_range(5..8u8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.random_range(3..3usize);
+    }
+}

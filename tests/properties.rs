@@ -1,11 +1,13 @@
-//! Cross-crate property-based tests.
+//! Cross-crate property-based tests, driven by a seeded internal PRNG
+//! (the offline build has no property-testing framework; each test
+//! enumerates a few hundred deterministic random cases instead).
 
 use hoiho::apparent::tag_prefix;
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::{Coordinates, Rtt};
 use hoiho_psl::PublicSuffixList;
+use hoiho_rtt::rng::{Rng, StdRng};
 use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpId, VpSet};
-use proptest::prelude::*;
 
 fn vpset() -> VpSet {
     let mut vps = VpSet::new();
@@ -15,40 +17,53 @@ fn vpset() -> VpSet {
     vps
 }
 
-fn hostname_prefix() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z0-9-]{1,12}", 1..5).prop_map(|labels| labels.join("."))
+/// 1–4 dot-joined labels over `[a-z0-9-]{1,12}`.
+fn hostname_prefix(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let labels = rng.random_range(1..5usize);
+    let mut out = String::new();
+    for i in 0..labels {
+        if i > 0 {
+            out.push('.');
+        }
+        let len = rng.random_range(1..13usize);
+        for _ in 0..len {
+            out.push(CHARS[rng.random_range(0..CHARS.len())] as char);
+        }
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Stage-2 tagging never panics and every tag's span points at its
-    /// text, for arbitrary hostname prefixes.
-    #[test]
-    fn tagging_is_total_and_spans_are_valid(
-        prefix in hostname_prefix(),
-        rtt_ms in 0.5f64..200.0,
-        vp in 0u16..3,
-    ) {
-        let db = GeoDb::builtin();
-        let vps = vpset();
+/// Stage-2 tagging never panics and every tag's span points at its
+/// text, for arbitrary hostname prefixes.
+#[test]
+fn tagging_is_total_and_spans_are_valid() {
+    let db = GeoDb::builtin();
+    let vps = vpset();
+    let mut rng = StdRng::seed_from_u64(0x7A61);
+    for _ in 0..128 {
+        let prefix = hostname_prefix(&mut rng);
+        let rtt_ms = 0.5 + rng.random::<f64>() * 199.5;
+        let vp = rng.random_range(0..3u16);
         let mut rtts = RouterRtts::new();
         rtts.record(VpId(vp), Rtt::from_ms(rtt_ms));
         let tags = tag_prefix(&db, &vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
         for t in &tags {
-            prop_assert!(t.start < t.end);
-            prop_assert!(t.end <= prefix.len());
+            assert!(t.start < t.end, "{prefix}: empty span");
+            assert!(t.end <= prefix.len(), "{prefix}: span out of range");
             // For unsplit tags the text is the literal span (CLLI heads
             // truncate to six characters).
             if t.split.is_none() {
-                prop_assert!(
-                    prefix[t.start..t.end].starts_with(t.text.chars().next().unwrap_or('?'))
+                assert!(
+                    prefix[t.start..t.end].starts_with(t.text.chars().next().unwrap_or('?')),
+                    "{prefix}: tag text {} not at span",
+                    t.text
                 );
             }
             // Tagged locations were RTT-feasible.
             for loc in &t.locations {
                 let c = db.location(*loc).coords;
-                prop_assert!(hoiho_rtt::rtt_consistent(
+                assert!(hoiho_rtt::rtt_consistent(
                     &vps,
                     &rtts,
                     &c,
@@ -57,58 +72,74 @@ proptest! {
             }
         }
     }
+}
 
-    /// The public suffix list produces suffixes that are suffixes.
-    #[test]
-    fn registerable_suffix_is_a_suffix(prefix in hostname_prefix(), tld in "(com|net|org|de|net\\.au|co\\.uk)") {
-        let psl = PublicSuffixList::builtin();
+/// The public suffix list produces suffixes that are suffixes.
+#[test]
+fn registerable_suffix_is_a_suffix() {
+    const TLDS: &[&str] = &["com", "net", "org", "de", "net.au", "co.uk"];
+    let psl = PublicSuffixList::builtin();
+    let mut rng = StdRng::seed_from_u64(0x9511);
+    for _ in 0..128 {
+        let prefix = hostname_prefix(&mut rng);
+        let tld = TLDS[rng.random_range(0..TLDS.len())];
         let host = format!("{prefix}.example.{tld}");
         let sfx = psl.registerable_suffix(&host);
-        prop_assert!(sfx.is_some());
+        assert!(sfx.is_some(), "no suffix for {host}");
         let sfx = sfx.unwrap();
-        prop_assert!(host.ends_with(&sfx));
-        prop_assert!(sfx.starts_with("example."));
+        assert!(host.ends_with(&sfx), "{sfx} not a suffix of {host}");
+        assert!(sfx.starts_with("example."), "unexpected suffix {sfx}");
     }
+}
 
-    /// Base regexes built from any tagged hostname match that hostname.
-    #[test]
-    fn base_regexes_match_their_source(
-        role in "(cr|gw|core)[0-9]",
-        code in "(lhr|sea|ams|fra|prg)",
-        n in 1u8..99,
-    ) {
-        let db = GeoDb::builtin();
-        let vps = vpset();
+/// Base regexes built from any tagged hostname match that hostname.
+#[test]
+fn base_regexes_match_their_source() {
+    const ROLES: &[&str] = &["cr", "gw", "core"];
+    const CODES: &[&str] = &["lhr", "sea", "ams", "fra", "prg"];
+    let db = GeoDb::builtin();
+    let vps = vpset();
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    for _ in 0..128 {
+        let role = format!(
+            "{}{}",
+            ROLES[rng.random_range(0..ROLES.len())],
+            rng.random_range(0..10u8)
+        );
+        let code = CODES[rng.random_range(0..CODES.len())];
+        let n = rng.random_range(1..99u8);
         let prefix = format!("{role}.{code}{n}");
         let mut rtts = RouterRtts::new();
         // Loose constraint: everything feasible, so the hint is tagged.
         rtts.record(VpId(0), Rtt::from_ms(500.0));
         let tags = tag_prefix(&db, &vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
-        prop_assert!(!tags.is_empty());
+        assert!(!tags.is_empty(), "nothing tagged in {prefix}");
         let hostname = format!("{prefix}.example.net");
         let regexes = hoiho::builder::base_regexes_for_host(&prefix, &tags, "example.net");
-        prop_assert!(!regexes.is_empty());
+        assert!(!regexes.is_empty(), "no regexes for {prefix}");
         let mut matched_any = false;
         for r in &regexes {
             if let Some(e) = r.extract(&hostname) {
                 matched_any = true;
                 // The extraction is a substring of the hostname.
-                prop_assert!(hostname.contains(&e.hint));
+                assert!(hostname.contains(&e.hint));
             }
         }
-        prop_assert!(matched_any, "no base regex matched {hostname}");
+        assert!(matched_any, "no base regex matched {hostname}");
     }
+}
 
-    /// RTT consistency is monotone in the measurement: a larger RTT
-    /// never makes a feasible location infeasible.
-    #[test]
-    fn consistency_monotone_in_rtt(
-        lat in -60.0f64..60.0,
-        lon in -180.0f64..180.0,
-        ms in 1.0f64..300.0,
-        extra in 0.0f64..100.0,
-    ) {
-        let vps = vpset();
+/// RTT consistency is monotone in the measurement: a larger RTT never
+/// makes a feasible location infeasible.
+#[test]
+fn consistency_monotone_in_rtt() {
+    let vps = vpset();
+    let mut rng = StdRng::seed_from_u64(0x0113);
+    for _ in 0..256 {
+        let lat = -60.0 + rng.random::<f64>() * 120.0;
+        let lon = -180.0 + rng.random::<f64>() * 360.0;
+        let ms = 1.0 + rng.random::<f64>() * 299.0;
+        let extra = rng.random::<f64>() * 100.0;
         let cand = Coordinates::new(lat, lon);
         let mut small = RouterRtts::new();
         small.record(VpId(0), Rtt::from_ms(ms));
@@ -116,7 +147,11 @@ proptest! {
         large.record(VpId(0), Rtt::from_ms(ms + extra));
         let policy = ConsistencyPolicy::STRICT;
         if hoiho_rtt::rtt_consistent(&vps, &small, &cand, &policy) {
-            prop_assert!(hoiho_rtt::rtt_consistent(&vps, &large, &cand, &policy));
+            assert!(
+                hoiho_rtt::rtt_consistent(&vps, &large, &cand, &policy),
+                "({lat},{lon}) feasible at {ms}ms but not {}ms",
+                ms + extra
+            );
         }
     }
 }

@@ -8,9 +8,8 @@ use hoiho_geodb::GeoDb;
 use hoiho_itdk::spec::CorpusSpec;
 use hoiho_psl::PublicSuffixList;
 use hoiho_rtt::fault::inject_spoofing;
+use hoiho_rtt::rng::StdRng;
 use hoiho_rtt::VpId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn poisoned_corpus(db: &GeoDb) -> hoiho_itdk::Corpus {
     let spec = CorpusSpec {
@@ -82,7 +81,7 @@ fn filter_is_inert_on_clean_measurements() {
     let psl = PublicSuffixList::builtin();
     let spec = CorpusSpec {
         label: "clean".into(),
-        seed: 0xC1ea2,
+        seed: 0xC1EA2,
         operators: 6,
         routers: 400,
         geo_operator_fraction: 0.8,
