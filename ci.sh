@@ -18,4 +18,31 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> serve smoke test"
+# Boot `hoiho serve` on an ephemeral port (the --port-file handshake
+# tells us which), run one HTTP lookup against a hostname taken from the
+# corpus, then shut down cleanly and require exit 0 (graceful drain).
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/hoiho generate --routers 1500 --seed 11 --out "$SMOKE_DIR/corpus.txt"
+./target/release/hoiho learn --corpus "$SMOKE_DIR/corpus.txt" --out "$SMOKE_DIR/artifacts.txt"
+./target/release/hoiho serve --artifacts "$SMOKE_DIR/artifacts.txt" \
+    --addr 127.0.0.1:0 --threads 2 --port-file "$SMOKE_DIR/port" &
+SERVE_PID=$!
+i=0
+while [ ! -s "$SMOKE_DIR/port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 200 ] && { echo "serve never wrote its port file"; exit 1; }
+    sleep 0.05
+done
+PORT=$(cat "$SMOKE_DIR/port")
+HOST=$(awk '$1 == "iface" { print $3; exit }' "$SMOKE_DIR/corpus.txt")
+curl -fsS "http://127.0.0.1:$PORT/lookup?h=$HOST" | grep -q "\"host\":\"$HOST\""
+curl -fsS "http://127.0.0.1:$PORT/healthz" > /dev/null
+curl -fsS -X POST "http://127.0.0.1:$PORT/shutdown" > /dev/null
+wait "$SERVE_PID"
+
+echo "==> serve_load baseline"
+./target/release/serve_load --routers 2000 --requests 6000 --out BENCH_serve.json
+
 echo "CI OK"

@@ -17,6 +17,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--artifacts",
     "--out",
     "--metrics",
+    "--addr",
+    "--threads",
+    "--queue",
+    "--read-timeout-ms",
+    "--reload-ms",
+    "--port-file",
 ];
 
 /// Parsed command-line options.

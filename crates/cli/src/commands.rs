@@ -12,7 +12,10 @@ use hoiho_itdk::spec::CorpusSpec;
 use hoiho_itdk::stats::CorpusStats;
 use hoiho_psl::PublicSuffixList;
 use hoiho_rtt::ConsistencyPolicy;
+use hoiho_serve::{LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
 use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Attach observability sinks per the `--metrics`, `--progress`, and
 /// `-v/--trace` flags. Returns a guard whose `Drop` finishes the run:
@@ -178,6 +181,53 @@ pub fn apply(opts: &Options) -> Result<(), String> {
             return Ok(());
         }
     }
+    Ok(())
+}
+
+/// `hoiho serve`
+pub fn serve(opts: &Options) -> Result<(), String> {
+    let _obs = setup_obs(opts)?;
+    let db = Arc::new(dictionary(opts)?);
+    let psl = Arc::new(PublicSuffixList::builtin());
+    let path = opts.require("artifacts")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let index = LookupIndex::from_artifacts(db, psl, &text).map_err(|e| e.to_string())?;
+    if index.is_empty() {
+        return Err(format!("{path} holds no usable conventions"));
+    }
+    let reload_ms = opts.num("reload-ms", 1000)?;
+    let cfg = ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:3845").to_string(),
+        threads: opts.num("threads", 4)? as usize,
+        queue_cap: opts.num("queue", 128)? as usize,
+        read_timeout: Duration::from_millis(opts.num("read-timeout-ms", 5000)?.max(1)),
+        reload: (reload_ms > 0).then(|| ReloadConfig {
+            path: path.into(),
+            every: Duration::from_millis(reload_ms),
+        }),
+    };
+    let shards = index.len();
+    let server = Server::start(Arc::new(SharedIndex::new(index)), &cfg)
+        .map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let addr = server.local_addr();
+    // The --port-file handshake: scripts bind port 0 and read the real
+    // port back once the file appears.
+    if let Some(port_file) = opts.get("port-file") {
+        write_file(port_file, &format!("{}\n", addr.port()))?;
+    }
+    eprintln!(
+        "serving {shards} suffix shards on {addr} ({} workers, queue {}, reload {})",
+        cfg.threads,
+        cfg.queue_cap,
+        if reload_ms > 0 {
+            format!("every {reload_ms}ms")
+        } else {
+            "off".to_string()
+        }
+    );
+    eprintln!("stop with: POST /shutdown or the line request {{\"cmd\":\"shutdown\"}}");
+    server.wait();
+    eprintln!("drained; bye");
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! hoiho apply    --artifacts artifacts.txt HOSTNAME…   (or hostnames on stdin)
 //! hoiho stats    --corpus corpus.txt
 //! hoiho stale    --corpus corpus.txt --artifacts artifacts.txt
+//! hoiho serve    --artifacts artifacts.txt --addr 127.0.0.1:3845 --threads 4
 //! ```
 //!
 //! All subcommands use the built-in reference dictionary; pass
@@ -36,18 +37,29 @@ fn main() -> ExitCode {
         "apply" => commands::apply(&opts),
         "stats" => commands::stats(&opts),
         "stale" => commands::stale(&opts),
+        "serve" => commands::serve(&opts),
+        "version" | "--version" | "-V" => {
+            println!("hoiho {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
         "help" | "--help" | "-h" => {
-            // Bare `help` prints usage and succeeds; there is no
-            // per-subcommand help, so `help learn` is a usage error.
-            if rest.is_empty() {
+            // Bare `help` prints usage; `help <subcommand>` prints that
+            // subcommand's detailed help. An unknown topic stays a
+            // usage error.
+            let Some(topic) = opts.positional.first() else {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
+            };
+            match subcommand_help(topic) {
+                Some(text) => {
+                    println!("{text}");
+                    return ExitCode::SUCCESS;
+                }
+                None => {
+                    eprintln!("error: unknown help topic '{topic}'\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
             }
-            eprintln!(
-                "error: no per-subcommand help; run 'hoiho help'\n\n{}",
-                usage()
-            );
-            return ExitCode::from(2);
         }
         other => {
             eprintln!("error: unknown subcommand '{other}'\n\n{}", usage());
@@ -72,6 +84,9 @@ USAGE:
   hoiho apply    --artifacts FILE [--towns N] [HOSTNAME…]      (stdin if none given)
   hoiho stats    --corpus FILE
   hoiho stale    --corpus FILE --artifacts FILE [--towns N]
+  hoiho serve    --artifacts FILE [--addr HOST:PORT] [--threads N]
+  hoiho help [SUBCOMMAND]
+  hoiho version
 
 FLAGS:
   --routers N           corpus size for `generate` (default 2000)
@@ -84,10 +99,121 @@ FLAGS:
   --artifacts FILE      learned regexes + hints (hoiho-artifacts-v1)
   --out FILE            output path
 
-OBSERVABILITY (learn/apply/stale):
+OBSERVABILITY (learn/apply/stale/serve):
   --metrics FILE        write spans, counters, and histograms as JSON lines
   --progress            live per-suffix progress and a summary on stderr
-  -v, --trace           print the span tree on exit"
+  -v, --trace           print the span tree on exit
+
+Run 'hoiho help SUBCOMMAND' for per-subcommand details."
+}
+
+/// Detailed help for one subcommand, or `None` for an unknown topic.
+fn subcommand_help(topic: &str) -> Option<&'static str> {
+    Some(match topic {
+        "generate" => {
+            "hoiho generate — synthesize an ITDK-style router corpus
+
+USAGE:
+  hoiho generate --routers N [--operators N] [--seed S] [--ipv6] [--towns N] --out FILE
+
+FLAGS:
+  --routers N    corpus size (default 2000)
+  --operators N  operator count (default routers/120)
+  --seed S       generator seed (default 1)
+  --ipv6         IPv6-style corpus (fewer hostnames and RTTs)
+  --towns N      extend the dictionary with N synthetic towns
+  --out FILE     write the corpus-v1 file here"
+        }
+        "learn" => {
+            "hoiho learn — learn per-suffix naming conventions from a corpus
+
+USAGE:
+  hoiho learn --corpus FILE [--no-learned-hints] [--towns N] --out FILE
+
+FLAGS:
+  --corpus FILE         corpus in the native corpus-v1 format
+  --no-learned-hints    disable stage 4, the paper's ablation
+  --towns N             match the --towns used at generate time
+  --out FILE            write hoiho-artifacts-v1 here
+  --metrics FILE        JSON-lines observability output
+  --progress            live per-suffix progress on stderr
+  -v, --trace           span tree on exit"
+        }
+        "apply" => {
+            "hoiho apply — geolocate hostnames with learned artifacts
+
+USAGE:
+  hoiho apply --artifacts FILE [--towns N] [HOSTNAME…]
+
+Hostnames come from the command line, or stdin (one per line) when
+none are given. Output is one tab-separated line per hostname:
+name, location, coordinates, hint type, hint (and '(learned)' when a
+suffix-specific learned geohint decoded it); '-' for no inference.
+
+FLAGS:
+  --artifacts FILE   learned regexes + hints (hoiho-artifacts-v1)
+  --towns N          match the --towns used at learn time
+  --metrics FILE, --progress, -v/--trace   observability"
+        }
+        "stats" => {
+            "hoiho stats — summarize a corpus file
+
+USAGE:
+  hoiho stats --corpus FILE
+
+Prints router count, hostname and RTT coverage, and vantage points."
+        }
+        "stale" => {
+            "hoiho stale — flag hostnames whose geohint disagrees with siblings
+
+USAGE:
+  hoiho stale --corpus FILE --artifacts FILE [--towns N]
+
+Applies the artifacts to the corpus and reports hostnames whose
+hinted location is inconsistent with the RTT evidence of their
+router's other interfaces (stale-name detection, §6.2).
+
+FLAGS:
+  --corpus FILE      corpus in the native corpus-v1 format
+  --artifacts FILE   learned regexes + hints
+  --towns N          match the --towns used at learn time"
+        }
+        "serve" => {
+            "hoiho serve — concurrent hostname-geolocation lookup service
+
+USAGE:
+  hoiho serve --artifacts FILE [--addr HOST:PORT] [--threads N]
+              [--queue N] [--read-timeout-ms MS] [--reload-ms MS]
+              [--port-file FILE] [--towns N] [--metrics FILE]
+
+Loads the artifact file into a suffix-sharded in-memory index and
+answers lookups over two protocols on one port:
+
+  line JSON:  {\"lookup\":\"HOST\"}   {\"batch\":[\"H1\",\"H2\"]}
+              {\"cmd\":\"ping\"}      {\"cmd\":\"shutdown\"}
+              (a bare hostname line is a lookup too)
+  HTTP-lite:  GET /lookup?h=HOST    POST /batch (hostnames in body)
+              GET /metrics  GET /healthz  POST /shutdown
+
+The artifact file is polled for changes and hot-reloaded without
+dropping connections; a corrupt file keeps the old index serving.
+When the accept queue is full the server sheds load with an explicit
+503/overloaded response.
+
+FLAGS:
+  --artifacts FILE       learned regexes + hints to serve
+  --addr HOST:PORT       bind address (default 127.0.0.1:3845; port 0
+                         binds an ephemeral port)
+  --threads N            worker threads (default 4)
+  --queue N              accept-queue depth before shedding (default 128)
+  --read-timeout-ms MS   idle-connection timeout (default 5000)
+  --reload-ms MS         artifact poll period; 0 disables (default 1000)
+  --port-file FILE       write the bound port here once listening
+  --towns N              match the --towns used at learn time
+  --metrics FILE, --progress, -v/--trace   observability"
+        }
+        _ => return None,
+    })
 }
 
 /// Read hostnames from stdin, one per line.

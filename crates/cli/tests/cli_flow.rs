@@ -126,15 +126,47 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
-fn usage_errors_exit_2_with_usage() {
-    // `help <subcommand>` is unsupported: exit 2, usage on stderr.
+fn per_subcommand_help() {
+    // `help <subcommand>` prints that subcommand's detailed help.
+    for (topic, needle) in [
+        ("learn", "--no-learned-hints"),
+        ("apply", "tab-separated"),
+        ("stale", "stale-name detection"),
+        ("serve", "503/overloaded"),
+        ("generate", "--routers"),
+        ("stats", "--corpus"),
+    ] {
+        let out = Command::new(bin())
+            .args(["help", topic])
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "help {topic}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(&format!("hoiho {topic}")), "{stdout}");
+        assert!(stdout.contains(needle), "help {topic} missing {needle:?}");
+    }
+
+    // An unknown topic stays a usage error.
     let out = Command::new(bin())
-        .args(["help", "learn"])
+        .args(["help", "frobnicate"])
         .output()
         .expect("run");
     assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown help topic"));
+}
 
+#[test]
+fn version_prints_workspace_version() {
+    for argv in [&["version"][..], &["--version"], &["-V"]] {
+        let out = Command::new(bin()).args(argv).output().expect("run");
+        assert!(out.status.success(), "{argv:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout.trim(), concat!("hoiho ", env!("CARGO_PKG_VERSION")));
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_with_usage() {
     // Unknown flags: exit 2, usage on stderr.
     let out = Command::new(bin())
         .args(["learn", "--frobnicate", "x"])
@@ -152,6 +184,100 @@ fn usage_errors_exit_2_with_usage() {
     // No subcommand: exit 2.
     let out = Command::new(bin()).output().expect("run");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_lookup_over_tcp_with_port_file_handshake() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let corpus = tmp("serve-corpus.txt");
+    let artifacts = tmp("serve-artifacts.txt");
+    let port_file = tmp("serve-port.txt");
+
+    for args in [
+        vec![
+            "generate",
+            "--routers",
+            "1500",
+            "--seed",
+            "11",
+            "--out",
+            corpus.as_str(),
+        ],
+        vec![
+            "learn",
+            "--corpus",
+            corpus.as_str(),
+            "--out",
+            artifacts.as_str(),
+        ],
+    ] {
+        let out = Command::new(bin()).args(&args).output().expect("run");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            "--artifacts",
+            &artifacts,
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--port-file",
+            &port_file,
+        ])
+        .spawn()
+        .expect("spawn serve");
+
+    // Handshake: the port file appears once the listener is bound.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let port: u16 = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(p) = text.trim().parse() {
+                break p;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "port file never came");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+
+    // One lookup for a hostname from the corpus, then a clean drain.
+    let host = std::fs::read_to_string(&corpus)
+        .expect("corpus")
+        .lines()
+        .find_map(|l| {
+            let mut f = l.split_whitespace();
+            (f.next() == Some("iface")).then(|| f.nth(1).map(str::to_string))?
+        })
+        .expect("corpus has hostnames");
+    let mut conn = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(format!("{{\"lookup\":\"{host}\"}}\n").as_bytes())
+        .expect("write");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains(&format!("\"host\":\"{host}\"")), "{line}");
+
+    conn.write_all(b"{\"cmd\":\"shutdown\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"draining\":true"), "{line}");
+    drop(conn);
+
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve must drain cleanly");
+
+    for f in [&corpus, &artifacts, &port_file] {
+        std::fs::remove_file(f).ok();
+    }
 }
 
 #[test]

@@ -26,6 +26,65 @@ pub struct SuffixGeo {
     pub class: NcClass,
 }
 
+impl SuffixGeo {
+    /// The borrowable apply path: extract, decode, and disambiguate a
+    /// hostname that has already been routed to this suffix's artifacts.
+    ///
+    /// `hostname` must be lowercase (regexes are learned over lowercase
+    /// names) and should group under [`NamingConvention::suffix`] —
+    /// callers like the `hoiho-serve` shard index resolve the suffix
+    /// once with [`hoiho_psl::PublicSuffixList::registerable_suffix_of`]
+    /// and reuse a scratch buffer, so a non-matching query allocates
+    /// nothing.
+    pub fn geolocate(&self, db: &GeoDb, hostname: &str) -> Option<GeoInference> {
+        let obs = hoiho_obs::enabled();
+        let e = self.nc.extract(hostname)?;
+        if obs {
+            hoiho_obs::counter!("apply.matched").inc();
+        }
+        let learned_hint = self.learned.get(&e.hint, e.ty).is_some();
+        let mut locs = decode(db, Some(&self.learned), &e);
+        if locs.is_empty() {
+            return None;
+        }
+        // Country/state tokens narrow ambiguous hints.
+        if !e.cc_tokens.is_empty() {
+            let narrowed: Vec<LocationId> = locs
+                .iter()
+                .copied()
+                .filter(|id| {
+                    e.cc_tokens
+                        .iter()
+                        .all(|t| db.location(*id).matches_cc_or_state(t))
+                })
+                .collect();
+            if !narrowed.is_empty() {
+                locs = narrowed;
+            }
+        }
+        locs.sort_by(|a, b| {
+            db.has_facility(*b)
+                .cmp(&db.has_facility(*a))
+                .then_with(|| db.location(*b).population.cmp(&db.location(*a).population))
+        });
+        let location = locs[0];
+        if obs {
+            hoiho_obs::counter!("apply.resolved").inc();
+            if learned_hint {
+                hoiho_obs::counter!("apply.resolved_learned_hint").inc();
+            }
+        }
+        Some(GeoInference {
+            location,
+            coords: db.location(location).coords,
+            hint: e.hint,
+            ty: e.ty,
+            learned_hint,
+            suffix: self.nc.suffix.clone(),
+        })
+    }
+}
+
 /// A geolocation inference for one hostname.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GeoInference {
@@ -104,57 +163,12 @@ impl Geolocator {
         psl: &PublicSuffixList,
         hostname: &str,
     ) -> Option<GeoInference> {
-        let obs = hoiho_obs::enabled();
-        if obs {
+        if hoiho_obs::enabled() {
             hoiho_obs::counter!("apply.lookups").inc();
         }
         let hostname = hostname.to_ascii_lowercase();
         let suffix = psl.registerable_suffix(&hostname)?;
-        let geo = self.map.get(&suffix)?;
-        let e = geo.nc.extract(&hostname)?;
-        if obs {
-            hoiho_obs::counter!("apply.matched").inc();
-        }
-        let learned_hint = geo.learned.get(&e.hint, e.ty).is_some();
-        let mut locs = decode(db, Some(&geo.learned), &e);
-        if locs.is_empty() {
-            return None;
-        }
-        // Country/state tokens narrow ambiguous hints.
-        if !e.cc_tokens.is_empty() {
-            let narrowed: Vec<LocationId> = locs
-                .iter()
-                .copied()
-                .filter(|id| {
-                    e.cc_tokens
-                        .iter()
-                        .all(|t| db.location(*id).matches_cc_or_state(t))
-                })
-                .collect();
-            if !narrowed.is_empty() {
-                locs = narrowed;
-            }
-        }
-        locs.sort_by(|a, b| {
-            db.has_facility(*b)
-                .cmp(&db.has_facility(*a))
-                .then_with(|| db.location(*b).population.cmp(&db.location(*a).population))
-        });
-        let location = locs[0];
-        if obs {
-            hoiho_obs::counter!("apply.resolved").inc();
-            if learned_hint {
-                hoiho_obs::counter!("apply.resolved_learned_hint").inc();
-            }
-        }
-        Some(GeoInference {
-            location,
-            coords: db.location(location).coords,
-            hint: e.hint,
-            ty: e.ty,
-            learned_hint,
-            suffix,
-        })
+        self.map.get(&suffix)?.geolocate(db, &hostname)
     }
 }
 

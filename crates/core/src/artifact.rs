@@ -117,18 +117,31 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
     }
 
     let mut geo = Geolocator::new();
-    let mut current: Option<(NamingConvention, Vec<LearnedHint>, NcClass)> = None;
-    let flush =
-        |geo: &mut Geolocator,
-         current: &mut Option<(NamingConvention, Vec<LearnedHint>, NcClass)>| {
-            if let Some((nc, hints, class)) = current.take() {
-                geo.insert(SuffixGeo {
-                    nc,
-                    learned: LearnedHints::from_hints(hints),
-                    class,
+    // The open block carries the line its `suffix` record appeared on so
+    // a truncated block (no regexes by the time it closes) is reported
+    // against that line.
+    let mut current: Option<(NamingConvention, Vec<LearnedHint>, NcClass, usize)> = None;
+    let flush = |geo: &mut Geolocator,
+                 current: &mut Option<(NamingConvention, Vec<LearnedHint>, NcClass, usize)>|
+     -> Result<(), ArtifactError> {
+        if let Some((nc, hints, class, opened_ln)) = current.take() {
+            if nc.regexes.is_empty() {
+                return Err(ArtifactError {
+                    line: opened_ln,
+                    msg: format!(
+                        "suffix {} has no regex records (truncated file?)",
+                        nc.suffix
+                    ),
                 });
             }
-        };
+            geo.insert(SuffixGeo {
+                nc,
+                learned: LearnedHints::from_hints(hints),
+                class,
+            });
+        }
+        Ok(())
+    };
 
     for (ln0, line) in lines {
         let ln = ln0 + 1;
@@ -141,7 +154,7 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
         let rest = parts.next().unwrap_or("");
         match tag {
             "suffix" => {
-                flush(&mut geo, &mut current);
+                flush(&mut geo, &mut current)?;
                 let mut f = rest.split_whitespace();
                 let sfx = f.next().ok_or_else(|| err(ln, "suffix: missing name"))?;
                 let class = match f.next() {
@@ -150,6 +163,12 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
                     Some("poor") => NcClass::Poor,
                     _ => return Err(err(ln, "suffix: bad class")),
                 };
+                if f.next().is_some() {
+                    return Err(err(ln, "suffix: trailing garbage after class"));
+                }
+                if geo.suffix(sfx).is_some() {
+                    return Err(err(ln, &format!("duplicate suffix block '{sfx}'")));
+                }
                 current = Some((
                     NamingConvention {
                         suffix: sfx.to_string(),
@@ -157,10 +176,11 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
                     },
                     Vec::new(),
                     class,
+                    ln,
                 ));
             }
             "regex" => {
-                let (nc, _, _) = current
+                let (nc, _, _, _) = current
                     .as_mut()
                     .ok_or_else(|| err(ln, "regex before suffix"))?;
                 let mut f = rest.splitn(2, ' ');
@@ -181,7 +201,7 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
                 });
             }
             "hint" => {
-                let (_, hints, _) = current
+                let (_, hints, _, _) = current
                     .as_mut()
                     .ok_or_else(|| err(ln, "hint before suffix"))?;
                 let mut f = rest.splitn(5, ' ');
@@ -218,7 +238,7 @@ pub fn parse_artifacts(text: &str, db: &GeoDb) -> Result<Geolocator, ArtifactErr
             other => return Err(err(ln, &format!("unknown record '{other}'"))),
         }
     }
-    flush(&mut geo, &mut current);
+    flush(&mut geo, &mut current)?;
     Ok(geo)
 }
 
@@ -321,6 +341,44 @@ mod tests {
         let s = g.suffix("x.net").expect("suffix");
         let loc = s.learned.get("zzz", GeohintType::Iata).expect("hint");
         assert_eq!(db.location(loc).name, "Paris");
+    }
+
+    #[test]
+    fn duplicate_suffix_blocks_rejected() {
+        let db = GeoDb::builtin();
+        let text = "hoiho-artifacts-v1\n\
+                    suffix x.net good\nregex iata ^([a-z]{3})\\.x\\.net$\n\
+                    suffix y.net good\nregex iata ^([a-z]{3})\\.y\\.net$\n\
+                    suffix x.net poor\nregex iata ^([a-z]{3})\\.x\\.net$\n";
+        let e = parse_artifacts(text, &db).unwrap_err();
+        assert_eq!(e.line, 6);
+        assert!(e.msg.contains("duplicate suffix block 'x.net'"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_on_suffix_line_rejected() {
+        let db = GeoDb::builtin();
+        let text =
+            "hoiho-artifacts-v1\nsuffix x.net good junk\nregex iata ^([a-z]{3})\\.x\\.net$\n";
+        let e = parse_artifacts(text, &db).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("trailing garbage"), "{e}");
+    }
+
+    #[test]
+    fn truncated_block_without_regexes_rejected() {
+        let db = GeoDb::builtin();
+        // A file cut off right after a suffix record: the block carries
+        // no regexes, so a hot reload must fail loudly rather than load
+        // a partial index.
+        let e = parse_artifacts("hoiho-artifacts-v1\nsuffix x.net good\n", &db).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("no regex records"), "{e}");
+        // Same when the empty block is mid-file.
+        let text = "hoiho-artifacts-v1\nsuffix a.net good\n\
+                    suffix b.net good\nregex iata ^([a-z]{3})\\.b\\.net$\n";
+        let e = parse_artifacts(text, &db).unwrap_err();
+        assert_eq!(e.line, 2);
     }
 
     #[test]

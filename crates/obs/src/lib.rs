@@ -481,6 +481,48 @@ impl Snapshot {
         out
     }
 
+    /// Render counters and histograms in the Prometheus text exposition
+    /// format (counters as `counter`, histogram summaries as per-stat
+    /// `gauge`s) — the payload behind `hoiho-serve`'s `GET /metrics`.
+    /// Metric names are the dot-separated registry names with dots and
+    /// other non-identifier characters mapped to `_` and a `hoiho_`
+    /// prefix.
+    pub fn render_prometheus(&self) -> String {
+        fn metric_name(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("hoiho_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let m = metric_name(name);
+            let _ = writeln!(out, "# TYPE {m} counter");
+            let _ = writeln!(out, "{m} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let m = metric_name(name);
+            for (stat, v) in [
+                ("count", h.count),
+                ("sum_us", h.sum),
+                ("p50_us", h.p50),
+                ("p90_us", h.p90),
+                ("p99_us", h.p99),
+                ("max_us", h.max),
+            ] {
+                let _ = writeln!(out, "# TYPE {m}_{stat} gauge");
+                let _ = writeln!(out, "{m}_{stat} {v}");
+            }
+        }
+        out
+    }
+
     /// Render closed spans as an indented tree with counts and total
     /// durations — the `--trace` output.
     pub fn render_span_tree(&self) -> String {
@@ -825,6 +867,18 @@ mod tests {
         let snap = r.snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sanitised_and_typed() {
+        let r = Registry::new();
+        r.add("serve.requests", 7);
+        r.record("serve.shard.gtt.net", 42);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE hoiho_serve_requests counter"));
+        assert!(text.contains("hoiho_serve_requests 7"));
+        assert!(text.contains("hoiho_serve_shard_gtt_net_count 1"));
+        assert!(text.contains("hoiho_serve_shard_gtt_net_max_us 42"));
     }
 
     #[test]

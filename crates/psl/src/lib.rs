@@ -32,6 +32,10 @@ enum Rule {
     Exception,
 }
 
+/// Most labels a hostname may have and still be answered by the
+/// borrowed fast path [`PublicSuffixList::registerable_suffix_of`].
+pub const MAX_BORROWED_LABELS: usize = 32;
+
 /// A parsed public suffix list.
 #[derive(Debug, Clone)]
 pub struct PublicSuffixList {
@@ -123,6 +127,64 @@ impl PublicSuffixList {
             return None;
         }
         Some(labels[labels.len() - ps - 1..].join("."))
+    }
+
+    /// Allocation-free variant of [`PublicSuffixList::registerable_suffix`]
+    /// for hot paths (the `hoiho-serve` lookup index): returns the
+    /// registerable suffix as a slice borrowed from `hostname`.
+    ///
+    /// The caller must pass an **already-lowercased** hostname (e.g. via
+    /// [`str::make_ascii_lowercase`] into a reusable buffer); a hostname
+    /// containing ASCII uppercase returns `None` rather than a
+    /// wrong-cased grouping key. Hostnames with empty interior labels
+    /// (`a..b.com`) or more than [`MAX_BORROWED_LABELS`] labels are not
+    /// handled by this fast path and also return `None` — use the
+    /// allocating [`PublicSuffixList::registerable_suffix`] for those.
+    ///
+    /// ```
+    /// let psl = hoiho_psl::PublicSuffixList::builtin();
+    /// assert_eq!(psl.registerable_suffix_of("r1.lon.gtt.net"), Some("gtt.net"));
+    /// assert_eq!(psl.registerable_suffix_of("com"), None);
+    /// ```
+    pub fn registerable_suffix_of<'h>(&self, hostname: &'h str) -> Option<&'h str> {
+        let host = hostname.trim_matches('.');
+        if host.is_empty() {
+            return None;
+        }
+        // One pass: collect label start offsets on the stack, reject
+        // inputs the borrowed path cannot answer correctly.
+        let mut starts = [0usize; MAX_BORROWED_LABELS];
+        let mut n = 1;
+        let bytes = host.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b.is_ascii_uppercase() {
+                return None;
+            }
+            if b == b'.' {
+                if bytes[i + 1] == b'.' {
+                    return None; // empty interior label
+                }
+                if n == MAX_BORROWED_LABELS {
+                    return None;
+                }
+                starts[n] = i + 1;
+                n += 1;
+            }
+        }
+        // The PSL walk of `public_suffix_labels`, but each candidate key
+        // is a suffix slice of `host` instead of a joined allocation.
+        let reg_at = |ps: usize| (n > ps).then(|| &host[starts[n - ps - 1]..]);
+        let mut best = 1; // prevailing default rule: "*"
+        for idx in 0..n {
+            match self.rules.get(&host[starts[idx]..]) {
+                Some(Rule::Normal) => best = best.max(n - idx),
+                // The wildcard extends one label further left.
+                Some(Rule::Wildcard) if idx > 0 => best = best.max(n - idx + 1),
+                Some(Rule::Exception) => return reg_at(n - idx - 1),
+                _ => {}
+            }
+        }
+        reg_at(best)
     }
 
     /// The part of the hostname before the registerable suffix (without
@@ -224,5 +286,61 @@ mod tests {
     #[test]
     fn builtin_is_nontrivial() {
         assert!(PublicSuffixList::builtin().len() > 50);
+    }
+
+    #[test]
+    fn borrowed_variant_matches_allocating_path() {
+        let psl = PublicSuffixList::builtin();
+        let ck = PublicSuffixList::parse("*.ck\n!www.ck\n");
+        for (l, host) in [
+            (&psl, "foo.bar.example.com"),
+            (&psl, "core1.syd.ccnw.net.au"),
+            (&psl, "r.x.isp.co.uk"),
+            (&psl, "a.b.frobnicate"),
+            (&psl, "com"),
+            (&psl, "net.au"),
+            (&psl, "gtt.net."),
+            (&psl, ".leading.gtt.net"),
+            (&ck, "host.shop.example.ck"),
+            (&ck, "host.www.ck"),
+            (&ck, "www.ck"),
+        ] {
+            assert_eq!(
+                l.registerable_suffix_of(host),
+                l.registerable_suffix(host).as_deref(),
+                "{host}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_variant_rejects_unsupported_inputs() {
+        let psl = PublicSuffixList::builtin();
+        // Uppercase: would produce a wrong-cased grouping key.
+        assert_eq!(psl.registerable_suffix_of("R1.LON.GTT.NET"), None);
+        // Empty interior label: the suffix is not a contiguous tail.
+        assert_eq!(psl.registerable_suffix_of("a..b.gtt.net"), None);
+        assert_eq!(psl.registerable_suffix_of(""), None);
+        assert_eq!(psl.registerable_suffix_of("..."), None);
+        // Too many labels for the stack-allocated offsets.
+        let long = "x.".repeat(MAX_BORROWED_LABELS + 1) + "gtt.net";
+        assert_eq!(psl.registerable_suffix_of(&long), None);
+        // The allocating path still answers all of these.
+        assert_eq!(
+            psl.registerable_suffix("a..b.gtt.net"),
+            Some("gtt.net".to_string())
+        );
+        assert_eq!(psl.registerable_suffix(&long), Some("gtt.net".to_string()));
+    }
+
+    #[test]
+    fn borrowed_suffix_is_a_tail_of_the_input() {
+        let psl = PublicSuffixList::builtin();
+        let host = "r1.lon.gtt.net";
+        let suffix = psl.registerable_suffix_of(host).unwrap();
+        // Borrowed from the same buffer: usable for zero-copy routing.
+        let host_ptr = host.as_ptr() as usize;
+        let sfx_ptr = suffix.as_ptr() as usize;
+        assert_eq!(sfx_ptr + suffix.len(), host_ptr + host.len());
     }
 }

@@ -1,0 +1,236 @@
+//! The read-optimized lookup index and its epoch-swapped shared handle.
+//!
+//! A [`LookupIndex`] is an immutable snapshot of one artifact file:
+//! every suffix's compiled regexes and learned hints, grouped so a
+//! query routes to exactly one shard. Workers never lock it — they hold
+//! an `Arc` for the duration of one request. Hot reload builds a fresh
+//! index off to the side and swaps it into the [`SharedIndex`] with the
+//! epoch counter bumped; in-flight requests keep the `Arc` they already
+//! loaded, so a swap can never fail a request.
+
+use hoiho::apply::{GeoInference, SuffixGeo};
+use hoiho::artifact::{parse_artifacts, ArtifactError};
+use hoiho::Geolocator;
+use hoiho_geodb::GeoDb;
+use hoiho_obs::Histogram;
+use hoiho_psl::PublicSuffixList;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// One suffix's slice of the index: the deployable artifacts plus a
+/// latency histogram registered as `serve.shard.<suffix>`.
+struct Shard {
+    geo: SuffixGeo,
+    latency: Arc<Histogram>,
+}
+
+/// An immutable, suffix-sharded snapshot of one artifact file together
+/// with the dictionary and suffix list needed to answer queries.
+pub struct LookupIndex {
+    db: Arc<GeoDb>,
+    psl: Arc<PublicSuffixList>,
+    shards: HashMap<String, Shard>,
+}
+
+impl LookupIndex {
+    /// Build an index from a parsed [`Geolocator`].
+    pub fn new(db: Arc<GeoDb>, psl: Arc<PublicSuffixList>, geo: Geolocator) -> LookupIndex {
+        let shards = geo
+            .iter()
+            .map(|s| {
+                let latency =
+                    hoiho_obs::global().histogram(&format!("serve.shard.{}", s.nc.suffix));
+                (
+                    s.nc.suffix.clone(),
+                    Shard {
+                        geo: s.clone(),
+                        latency,
+                    },
+                )
+            })
+            .collect();
+        LookupIndex { db, psl, shards }
+    }
+
+    /// Parse `text` as `hoiho-artifacts-v1` and build an index. A parse
+    /// error leaves any previously-built index untouched (the caller
+    /// simply keeps serving it).
+    pub fn from_artifacts(
+        db: Arc<GeoDb>,
+        psl: Arc<PublicSuffixList>,
+        text: &str,
+    ) -> Result<LookupIndex, ArtifactError> {
+        let geo = parse_artifacts(text, &db)?;
+        Ok(LookupIndex::new(db, psl, geo))
+    }
+
+    /// Number of suffix shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the index has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The dictionary queries decode against.
+    pub fn db(&self) -> &GeoDb {
+        &self.db
+    }
+
+    /// Shared handle to the dictionary (reload support).
+    pub fn shared_db(&self) -> Arc<GeoDb> {
+        Arc::clone(&self.db)
+    }
+
+    /// Shared handle to the suffix list (reload support).
+    pub fn shared_psl(&self) -> Arc<PublicSuffixList> {
+        Arc::clone(&self.psl)
+    }
+
+    /// Geolocate one hostname. `scratch` is a reusable buffer the
+    /// hostname is lowercased into, so the routing step allocates
+    /// nothing; each worker thread owns one scratch string.
+    pub fn lookup(&self, hostname: &str, scratch: &mut String) -> Option<GeoInference> {
+        scratch.clear();
+        scratch.push_str(hostname.trim());
+        scratch.make_ascii_lowercase();
+        let suffix = self.psl.registerable_suffix_of(scratch)?;
+        let shard = self.shards.get(suffix)?;
+        let start = Instant::now();
+        let inference = shard.geo.geolocate(&self.db, scratch);
+        shard.latency.record(start.elapsed().as_micros() as u64);
+        inference
+    }
+
+    /// The suffix a hostname would route to, if the index has a shard
+    /// for it (test and introspection support).
+    pub fn route(&self, hostname: &str) -> Option<&str> {
+        let lower = hostname.to_ascii_lowercase();
+        let suffix = self.psl.registerable_suffix_of(&lower)?;
+        self.shards.get_key_value(suffix).map(|(k, _)| k.as_str())
+    }
+}
+
+/// The epoch-swapped handle workers read the current index through.
+///
+/// `load` takes a read lock just long enough to clone the `Arc`;
+/// `swap` installs a replacement and bumps the epoch. Readers that
+/// loaded the old index finish their request against it — an artifact
+/// reload never drops or fails an in-flight query.
+pub struct SharedIndex {
+    current: RwLock<Arc<LookupIndex>>,
+    epoch: AtomicU64,
+}
+
+impl SharedIndex {
+    /// Wrap an initial index at epoch 1.
+    pub fn new(index: LookupIndex) -> SharedIndex {
+        SharedIndex {
+            current: RwLock::new(Arc::new(index)),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// The current index. Callers hold the returned `Arc` for one
+    /// request and drop it; the last holder of a replaced index frees
+    /// it.
+    pub fn load(&self) -> Arc<LookupIndex> {
+        Arc::clone(&self.current.read().expect("index lock poisoned"))
+    }
+
+    /// Install a new index and return the new epoch.
+    pub fn swap(&self, index: LookupIndex) -> u64 {
+        *self.current.write().expect("index lock poisoned") = Arc::new(index);
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The generation of the installed index (starts at 1, +1 per swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts(suffixes: &[&str]) -> String {
+        let mut text = String::from("hoiho-artifacts-v1\n");
+        for s in suffixes {
+            text.push_str(&format!(
+                "suffix {s} good\nregex iata ^.+\\.([a-z]{{3}})\\d+\\.{}$\n",
+                s.replace('.', "\\.")
+            ));
+        }
+        text
+    }
+
+    fn index(suffixes: &[&str]) -> LookupIndex {
+        let db = Arc::new(GeoDb::builtin());
+        let psl = Arc::new(PublicSuffixList::builtin());
+        LookupIndex::from_artifacts(db, psl, &artifacts(suffixes)).expect("parse")
+    }
+
+    #[test]
+    fn routes_to_the_owning_shard_only() {
+        let idx = index(&["gtt.net", "zayo.com"]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.route("r1.lhr1.gtt.net"), Some("gtt.net"));
+        assert_eq!(idx.route("R1.LHR1.GTT.NET"), Some("gtt.net"));
+        assert_eq!(idx.route("a.b.zayo.com"), Some("zayo.com"));
+        assert_eq!(idx.route("r1.lhr1.ntt.net"), None);
+        assert_eq!(idx.route("com"), None);
+    }
+
+    #[test]
+    fn lookup_resolves_and_misses() {
+        let idx = index(&["gtt.net"]);
+        let mut scratch = String::new();
+        let hit = idx.lookup("ae1.LHR2.gtt.net", &mut scratch).expect("hit");
+        assert_eq!(idx.db().location(hit.location).name, "London");
+        assert_eq!(hit.suffix, "gtt.net");
+        // Unknown suffix and non-matching shape both miss cleanly.
+        assert!(idx.lookup("ae1.lhr2.ntt.net", &mut scratch).is_none());
+        assert!(idx.lookup("weird-shape.gtt.net", &mut scratch).is_none());
+        assert!(idx.lookup("", &mut scratch).is_none());
+    }
+
+    #[test]
+    fn epoch_swap_under_concurrent_readers() {
+        let shared = Arc::new(SharedIndex::new(index(&["gtt.net"])));
+        assert_eq!(shared.epoch(), 1);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scratch = String::new();
+                    let mut hits = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let idx = shared.load();
+                        // Resolves under every epoch: both indexes carry
+                        // the gtt.net shard.
+                        if idx.lookup("ae1.lhr2.gtt.net", &mut scratch).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            shared.swap(index(&["gtt.net", "zayo.com"]));
+            shared.swap(index(&["gtt.net"]));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader") > 0, "readers made progress");
+        }
+        assert_eq!(shared.epoch(), 101);
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # hoiho-serve — the online lookup service
+//!
+//! The paper's end product is an operational artifact: per-suffix
+//! naming conventions anyone can apply to geolocate router hostnames
+//! without measurement infrastructure. This crate turns a
+//! `hoiho-artifacts-v1` file into exactly that — a concurrent
+//! `hostname → location` lookup service — so downstream consumers
+//! (HLOC-style systems, reverse-DNS geolocation pipelines) can query
+//! online instead of shelling out to `hoiho apply`.
+//!
+//! Three pieces, all hand-rolled on `std`:
+//!
+//! - [`LookupIndex`] — an immutable, suffix-sharded snapshot of one
+//!   artifact file: a query resolves its registerable suffix once
+//!   (allocation-free via
+//!   [`hoiho_psl::PublicSuffixList::registerable_suffix_of`]) and
+//!   touches a single shard's compiled regexes and learned hints.
+//! - [`SharedIndex`] — the epoch-swapped `Arc<LookupIndex>` handle:
+//!   artifact hot-reload builds a new index aside and swaps it in;
+//!   in-flight requests finish against the index they loaded, so a
+//!   reload (even a failed one) can never break a request.
+//! - [`Server`] — `TcpListener` + fixed worker pool + bounded accept
+//!   queue. Overload sheds with an explicit `503 overloaded` response
+//!   instead of stalling; shutdown drains gracefully.
+//!
+//! Both wire protocols are defined in [`proto`]: a line-delimited JSON
+//! protocol for `printf | nc`-style and persistent-connection clients,
+//! and an HTTP/1.1-lite front end (`GET /lookup?h=…`, `POST /batch`,
+//! `GET /metrics`, `GET /healthz`, `POST /shutdown`).
+//!
+//! ```no_run
+//! use hoiho_serve::{LookupIndex, Server, ServeConfig, SharedIndex};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(hoiho_geodb::GeoDb::builtin());
+//! let psl = Arc::new(hoiho_psl::PublicSuffixList::builtin());
+//! let text = std::fs::read_to_string("artifacts.txt").unwrap();
+//! let index = LookupIndex::from_artifacts(db, psl, &text).unwrap();
+//! let server = Server::start(
+//!     Arc::new(SharedIndex::new(index)),
+//!     &ServeConfig::default(),
+//! )
+//! .unwrap();
+//! println!("serving on {}", server.local_addr());
+//! server.wait(); // until a protocol shutdown drains it
+//! ```
+
+mod index;
+pub mod proto;
+mod server;
+
+pub use index::{LookupIndex, SharedIndex};
+pub use server::{ReloadConfig, ServeConfig, Server};

@@ -1,0 +1,520 @@
+//! The TCP server: accept thread, bounded connection queue, fixed
+//! worker pool, reload watcher, and graceful drain.
+//!
+//! Threading model (all `std`):
+//!
+//! - **accept thread** — blocking `accept()`; pushes connections onto a
+//!   bounded queue or, when the queue is full, writes the static
+//!   [`SHED_RESPONSE`](crate::proto::SHED_RESPONSE) and closes. It
+//!   never parses requests, so overload cannot stall the listener.
+//! - **N workers** — pop connections, speak either protocol until the
+//!   peer closes, the per-connection read timeout fires, or a drain
+//!   begins. One lowercase scratch buffer per worker keeps the lookup
+//!   path allocation-free.
+//! - **watcher** (optional) — polls the artifact file's `(mtime, len)`;
+//!   on change parses off to the side and epoch-swaps the shared index.
+//!   A corrupt file increments `serve.reload.err` and keeps the old
+//!   index serving.
+//!
+//! Shutdown (`{"cmd":"shutdown"}`, `POST /shutdown`, or
+//! [`Server::shutdown`]) is a drain: the accept thread stops accepting
+//! (woken by a self-connection), queued connections still get answers,
+//! workers finish the request in hand, and `Server::wait` joins
+//! everything.
+
+use crate::index::{LookupIndex, SharedIndex};
+use crate::proto::{self, Request};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hot-reload settings: which file to watch and how often.
+#[derive(Debug, Clone)]
+pub struct ReloadConfig {
+    /// The artifact file to poll.
+    pub path: PathBuf,
+    /// Poll period.
+    pub every: Duration,
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT`; port 0 binds an ephemeral port (read
+    /// it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Bounded accept-queue depth; connections beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-connection read timeout (idle connections are closed).
+    pub read_timeout: Duration,
+    /// Artifact hot-reload, if any.
+    pub reload: Option<ReloadConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_cap: 128,
+            read_timeout: Duration::from_secs(5),
+            reload: None,
+        }
+    }
+}
+
+struct Shared {
+    index: Arc<SharedIndex>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cap: usize,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    read_timeout: Duration,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.cv.notify_all();
+        // Wake the accept thread out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running lookup service. Dropping the handle without calling
+/// [`Server::shutdown`] or [`Server::wait`] detaches the threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `index` per `cfg`.
+    pub fn start(index: Arc<SharedIndex>, cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            index,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cap: cfg.queue_cap.max(1),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            read_timeout: cfg.read_timeout,
+            local_addr,
+        });
+        let mut threads = Vec::with_capacity(cfg.threads + 2);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(&shared, listener))?,
+            );
+        }
+        for i in 0..cfg.threads.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        if let Some(reload) = cfg.reload.clone() {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-watcher".to_string())
+                    .spawn(move || watcher_loop(&shared, &reload))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The index handle this server reads through.
+    pub fn index(&self) -> Arc<SharedIndex> {
+        Arc::clone(&self.shared.index)
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Block until the server drains (a protocol shutdown, or a prior
+    /// [`Server::shutdown`] from another handle).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Begin a graceful drain and block until every thread exits.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.wait();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining() {
+            // The wake-up self-connection (or a late client) during
+            // drain: refuse politely.
+            shed(stream);
+            return;
+        }
+        hoiho_obs::counter!("serve.conn.accepted").inc();
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.queue_cap {
+            drop(queue);
+            hoiho_obs::counter!("serve.conn.shed").inc();
+            shed(stream);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.cv.notify_one();
+    }
+}
+
+/// Write the static 503 payload without letting a slow client stall the
+/// caller.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut stream = stream;
+    let _ = stream.write_all(proto::SHED_RESPONSE);
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = String::new();
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (q, _) = shared
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        match conn {
+            Some(stream) => handle_connection(shared, stream, &mut scratch),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut String) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut first = String::new();
+    if reader.read_line(&mut first).unwrap_or(0) == 0 {
+        return;
+    }
+    if proto::looks_like_http(first.trim_end()) {
+        handle_http(
+            shared,
+            first.trim_end(),
+            &mut reader,
+            &mut write_half,
+            scratch,
+        );
+        return;
+    }
+    // Line protocol: first line is already a request; keep answering
+    // until EOF, timeout, error, or drain.
+    let mut line = first;
+    loop {
+        let response = respond_line(shared, line.trim_end(), scratch);
+        let draining = shared.draining();
+        if write_half.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        if draining {
+            return;
+        }
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            return;
+        }
+    }
+}
+
+/// Answer one line-protocol request, returning the newline-terminated
+/// response.
+fn respond_line(shared: &Shared, line: &str, scratch: &mut String) -> String {
+    let start = Instant::now();
+    let mut out = String::new();
+    match proto::parse_request(line) {
+        Request::Lookup(host) => {
+            hoiho_obs::counter!("serve.requests").inc();
+            hoiho_obs::counter!("serve.lookups").inc();
+            let index = shared.index.load();
+            let inf = index.lookup(&host, scratch);
+            if inf.is_some() {
+                hoiho_obs::counter!("serve.hits").inc();
+            }
+            proto::render_result(index.db(), &host, inf.as_ref(), &mut out);
+        }
+        Request::Batch(hosts) => {
+            hoiho_obs::counter!("serve.requests.batch").inc();
+            hoiho_obs::counter!("serve.lookups").add(hosts.len() as u64);
+            let index = shared.index.load();
+            out.push_str("{\"results\":[");
+            for (i, host) in hosts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let inf = index.lookup(host, scratch);
+                if inf.is_some() {
+                    hoiho_obs::counter!("serve.hits").inc();
+                }
+                proto::render_result(index.db(), host, inf.as_ref(), &mut out);
+            }
+            out.push_str("]}");
+        }
+        Request::Ping => {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"ok\":true,\"epoch\":{},\"shards\":{}}}",
+                    shared.index.epoch(),
+                    shared.index.load().len()
+                ),
+            );
+        }
+        Request::Shutdown => {
+            out.push_str("{\"ok\":true,\"draining\":true}");
+            shared.begin_shutdown();
+        }
+        Request::Malformed(msg) => {
+            hoiho_obs::counter!("serve.malformed").inc();
+            out.push_str(&proto::render_error(&msg));
+        }
+    }
+    out.push('\n');
+    hoiho_obs::global().record("serve.request_us", start.elapsed().as_micros() as u64);
+    out
+}
+
+fn handle_http(
+    shared: &Shared,
+    request_line: &str,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut TcpStream,
+    scratch: &mut String,
+) {
+    let start = Instant::now();
+    hoiho_obs::counter!("serve.requests.http").inc();
+    let req = proto::parse_http_request(request_line);
+    // Headers: only Content-Length matters.
+    let mut content_length = 0usize;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header).unwrap_or(0) == 0 {
+            return;
+        }
+        let h = header.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some(v) = h
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+        {
+            content_length = v.parse().unwrap_or(0);
+        }
+    }
+    let response = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/lookup") => match proto::query_param(&req.query, "h") {
+            Some(host) => {
+                hoiho_obs::counter!("serve.requests").inc();
+                hoiho_obs::counter!("serve.lookups").inc();
+                let index = shared.index.load();
+                let inf = index.lookup(&host, scratch);
+                if inf.is_some() {
+                    hoiho_obs::counter!("serve.hits").inc();
+                }
+                let mut body = String::new();
+                proto::render_result(index.db(), &host, inf.as_ref(), &mut body);
+                body.push('\n');
+                proto::http_response("200 OK", "application/json", &body)
+            }
+            None => proto::http_response(
+                "400 Bad Request",
+                "application/json",
+                &format!("{}\n", proto::render_error("missing h parameter")),
+            ),
+        },
+        ("POST", "/batch") => {
+            let mut body = vec![0u8; content_length.min(1 << 20)];
+            if reader.read_exact(&mut body).is_err() {
+                return;
+            }
+            let body = String::from_utf8_lossy(&body);
+            let hosts: Vec<&str> = body
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .collect();
+            hoiho_obs::counter!("serve.requests.batch").inc();
+            hoiho_obs::counter!("serve.lookups").add(hosts.len() as u64);
+            let index = shared.index.load();
+            let mut out_body = String::from("{\"results\":[");
+            for (i, host) in hosts.iter().enumerate() {
+                if i > 0 {
+                    out_body.push(',');
+                }
+                let inf = index.lookup(host, scratch);
+                if inf.is_some() {
+                    hoiho_obs::counter!("serve.hits").inc();
+                }
+                proto::render_result(index.db(), host, inf.as_ref(), &mut out_body);
+            }
+            out_body.push_str("]}\n");
+            proto::http_response("200 OK", "application/json", &out_body)
+        }
+        ("GET", "/metrics") => {
+            let mut body = hoiho_obs::global().snapshot().render_prometheus();
+            let _ = std::fmt::Write::write_fmt(
+                &mut body,
+                format_args!(
+                    "# TYPE hoiho_serve_epoch gauge\nhoiho_serve_epoch {}\n\
+                     # TYPE hoiho_serve_shards gauge\nhoiho_serve_shards {}\n",
+                    shared.index.epoch(),
+                    shared.index.load().len()
+                ),
+            );
+            proto::http_response("200 OK", "text/plain; version=0.0.4", &body)
+        }
+        ("GET", "/healthz") => proto::http_response(
+            "200 OK",
+            "application/json",
+            &format!(
+                "{{\"ok\":true,\"epoch\":{},\"shards\":{}}}\n",
+                shared.index.epoch(),
+                shared.index.load().len()
+            ),
+        ),
+        ("POST", "/shutdown") => {
+            let body = "{\"ok\":true,\"draining\":true}\n";
+            let r = proto::http_response("200 OK", "application/json", body);
+            let _ = out.write_all(&r);
+            let _ = out.flush();
+            shared.begin_shutdown();
+            hoiho_obs::global().record("serve.request_us", start.elapsed().as_micros() as u64);
+            return;
+        }
+        _ => proto::http_response(
+            "404 Not Found",
+            "application/json",
+            &format!("{}\n", proto::render_error("not found")),
+        ),
+    };
+    let _ = out.write_all(&response);
+    let _ = out.flush();
+    hoiho_obs::global().record("serve.request_us", start.elapsed().as_micros() as u64);
+}
+
+fn watcher_loop(shared: &Shared, cfg: &ReloadConfig) {
+    let stamp = |p: &PathBuf| -> Option<(std::time::SystemTime, u64)> {
+        let m = std::fs::metadata(p).ok()?;
+        Some((m.modified().ok()?, m.len()))
+    };
+    let mut last = stamp(&cfg.path);
+    loop {
+        // Sleep in small steps so a drain is not held up by the poll
+        // period.
+        let mut slept = Duration::ZERO;
+        while slept < cfg.every {
+            if shared.draining() {
+                return;
+            }
+            let step = Duration::from_millis(25).min(cfg.every - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let now = stamp(&cfg.path);
+        if now.is_none() || now == last {
+            continue;
+        }
+        last = now;
+        match std::fs::read_to_string(&cfg.path) {
+            Ok(text) => {
+                let current = shared.index.load();
+                match LookupIndex::from_artifacts(current.shared_db(), current.shared_psl(), &text)
+                {
+                    Ok(index) => {
+                        let shards = index.len();
+                        let epoch = shared.index.swap(index);
+                        hoiho_obs::counter!("serve.reload.ok").inc();
+                        hoiho_obs::progress(format!(
+                            "reloaded {} (epoch {epoch}, {shards} shards)",
+                            cfg.path.display()
+                        ));
+                    }
+                    Err(e) => {
+                        hoiho_obs::counter!("serve.reload.err").inc();
+                        eprintln!(
+                            "serve: reload of {} failed, keeping old index: {e}",
+                            cfg.path.display()
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                hoiho_obs::counter!("serve.reload.err").inc();
+                eprintln!(
+                    "serve: cannot read {} for reload, keeping old index: {e}",
+                    cfg.path.display()
+                );
+            }
+        }
+    }
+}
