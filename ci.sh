@@ -45,4 +45,7 @@ wait "$SERVE_PID"
 echo "==> serve_load baseline"
 ./target/release/serve_load --routers 2000 --requests 6000 --out BENCH_serve.json
 
+echo "==> learn_bench baseline"
+./target/release/learn_bench --routers 2000 --out BENCH_learn.json
+
 echo "CI OK"

@@ -114,14 +114,10 @@ fn main() {
 
     // Per-hostname outcomes, like the figure's TP/FP/FN/UNK row.
     println!("\n## Per-hostname outcomes\n");
-    let eval = hoiho::eval::eval_nc(
-        &db,
-        &vps,
-        &ConsistencyPolicy::STRICT,
-        &set_hosts(&hoiho, &db, &vps, &rows),
-        &nc,
-        None,
-    );
+    let hosts = set_hosts(&hoiho, &db, &vps, &rows);
+    let policy = ConsistencyPolicy::STRICT;
+    let ctx = hoiho::EvalContext::new(&db, &vps, &policy, &nc.suffix, &hosts);
+    let eval = hoiho::eval::eval_nc(&ctx, &nc, None);
     for ((h, _, _), (ext, outcome, _)) in rows.iter().zip(eval.per_host.iter()) {
         let what = ext
             .as_ref()

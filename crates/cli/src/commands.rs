@@ -119,14 +119,15 @@ pub fn learn(opts: &Options) -> Result<(), String> {
     let db = dictionary(opts)?;
     let psl = PublicSuffixList::builtin();
     let corpus = load_corpus(opts, db.len())?;
-    let hoiho = Hoiho::with_options(
-        &db,
-        &psl,
-        HoihoOptions {
-            learn_custom_hints: !opts.has("--no-learned-hints"),
-            ..Default::default()
-        },
-    );
+    let hoiho_opts = HoihoOptions {
+        learn_custom_hints: !opts.has("--no-learned-hints"),
+        threads: opts.num("threads", 0)? as usize,
+        ..Default::default()
+    };
+    if opts.has("--trace") {
+        eprintln!("using {} worker threads", hoiho_opts.resolved_threads());
+    }
+    let hoiho = Hoiho::with_options(&db, &psl, hoiho_opts);
     let report = hoiho.learn_corpus(&corpus);
     let geo = Geolocator::from_report(&report);
     let out = opts.require("out")?;
@@ -196,9 +197,14 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         return Err(format!("{path} holds no usable conventions"));
     }
     let reload_ms = opts.num("reload-ms", 1000)?;
+    // 0 = auto-detect, the same convention HoihoOptions uses for learn.
+    let threads = match opts.num("threads", 0)? as usize {
+        0 => HoihoOptions::default().resolved_threads(),
+        n => n,
+    };
     let cfg = ServeConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:3845").to_string(),
-        threads: opts.num("threads", 4)? as usize,
+        threads,
         queue_cap: opts.num("queue", 128)? as usize,
         read_timeout: Duration::from_millis(opts.num("read-timeout-ms", 5000)?.max(1)),
         reload: (reload_ms > 0).then(|| ReloadConfig {

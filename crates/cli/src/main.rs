@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! hoiho generate --routers 5000 --seed 7 --out corpus.txt [--ipv6]
-//! hoiho learn    --corpus corpus.txt --out artifacts.txt [--no-learned-hints]
+//! hoiho learn    --corpus corpus.txt --out artifacts.txt [--no-learned-hints] [--threads N]
 //! hoiho apply    --artifacts artifacts.txt HOSTNAME…   (or hostnames on stdin)
 //! hoiho stats    --corpus corpus.txt
 //! hoiho stale    --corpus corpus.txt --artifacts artifacts.txt
-//! hoiho serve    --artifacts artifacts.txt --addr 127.0.0.1:3845 --threads 4
+//! hoiho serve    --artifacts artifacts.txt --addr 127.0.0.1:3845 [--threads N]
 //! ```
 //!
 //! All subcommands use the built-in reference dictionary; pass
@@ -80,7 +80,7 @@ fn usage() -> &'static str {
 
 USAGE:
   hoiho generate --routers N [--operators N] [--seed S] [--ipv6] [--towns N] --out FILE
-  hoiho learn    --corpus FILE [--no-learned-hints] [--towns N] --out FILE
+  hoiho learn    --corpus FILE [--no-learned-hints] [--threads N] [--towns N] --out FILE
   hoiho apply    --artifacts FILE [--towns N] [HOSTNAME…]      (stdin if none given)
   hoiho stats    --corpus FILE
   hoiho stale    --corpus FILE --artifacts FILE [--towns N]
@@ -95,6 +95,7 @@ FLAGS:
   --ipv6                IPv6-style corpus (fewer hostnames and RTTs)
   --towns N             extend the dictionary with N synthetic towns
   --no-learned-hints    disable stage 4 (the paper's ablation)
+  --threads N           worker threads (default 0 = auto-detect)
   --corpus FILE         corpus in the native corpus-v1 format
   --artifacts FILE      learned regexes + hints (hoiho-artifacts-v1)
   --out FILE            output path
@@ -128,11 +129,13 @@ FLAGS:
             "hoiho learn — learn per-suffix naming conventions from a corpus
 
 USAGE:
-  hoiho learn --corpus FILE [--no-learned-hints] [--towns N] --out FILE
+  hoiho learn --corpus FILE [--no-learned-hints] [--threads N] [--towns N] --out FILE
 
 FLAGS:
   --corpus FILE         corpus in the native corpus-v1 format
   --no-learned-hints    disable stage 4, the paper's ablation
+  --threads N           worker threads (default 0 = auto-detect;
+                        the resolved count prints under -v)
   --towns N             match the --towns used at generate time
   --out FILE            write hoiho-artifacts-v1 here
   --metrics FILE        JSON-lines observability output
@@ -204,7 +207,7 @@ FLAGS:
   --artifacts FILE       learned regexes + hints to serve
   --addr HOST:PORT       bind address (default 127.0.0.1:3845; port 0
                          binds an ephemeral port)
-  --threads N            worker threads (default 4)
+  --threads N            worker threads (default 0 = auto-detect)
   --queue N              accept-queue depth before shedding (default 128)
   --read-timeout-ms MS   idle-connection timeout (default 5000)
   --reload-ms MS         artifact poll period; 0 disables (default 1000)

@@ -7,10 +7,11 @@
 //! CLLI embeddings (fig 6d), facility street addresses (fig 6f), and
 //! tags adjacent country/state codes as part of the hint (fig 6a).
 
+use crate::evalctx::FeasibilityCache;
 use crate::tokenize::{tokenize, Token, TokenKind};
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::{GeohintType, LocationId};
-use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy, RouterRtts, VpSet};
+use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpSet};
 
 /// An apparent geohint tagged on a hostname.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,24 @@ pub fn tag_prefix(
     prefix: &str,
     policy: &ConsistencyPolicy,
 ) -> Vec<Tag> {
+    // Transient cache: single-prefix callers (tests, ad-hoc tagging)
+    // still dedup repeated interpretations within one prefix.
+    let feas = FeasibilityCache::new();
+    tag_prefix_cached(db, vps, rtts, prefix, policy, &feas, 0)
+}
+
+/// [`tag_prefix`] with a caller-owned [`FeasibilityCache`]. Corpus-wide
+/// callers (`build_training_sets`, `detect_stale`) pass one cache keyed
+/// by router id so every prefix of a router shares feasibility answers.
+pub fn tag_prefix_cached(
+    db: &GeoDb,
+    vps: &VpSet,
+    rtts: &RouterRtts,
+    prefix: &str,
+    policy: &ConsistencyPolicy,
+    feas: &FeasibilityCache,
+    key: u64,
+) -> Vec<Tag> {
     if rtts.is_empty() || prefix.is_empty() {
         return Vec::new();
     }
@@ -57,7 +76,7 @@ pub fn tag_prefix(
         }
         let mut cands = db.lookup(t.text);
         cands.extend(db.lookup_clli_head(t.text));
-        push_consistent(db, vps, rtts, policy, &mut tags, t, None, cands);
+        push_consistent(db, vps, rtts, policy, feas, key, &mut tags, t, None, cands);
 
         // Split CLLI: a 4-letter token whose next alphabetic neighbour
         // (across digits/punctuation, within the same label) is a
@@ -66,7 +85,18 @@ pub fn tag_prefix(
             if let Some(two) = next_alpha_in_label(&tokens, i) {
                 if two.text.len() == 2 {
                     let cands = db.lookup_clli_split(t.text, two.text);
-                    push_consistent(db, vps, rtts, policy, &mut tags, t, Some(two), cands);
+                    push_consistent(
+                        db,
+                        vps,
+                        rtts,
+                        policy,
+                        feas,
+                        key,
+                        &mut tags,
+                        t,
+                        Some(two),
+                        cands,
+                    );
                 }
             }
         }
@@ -83,7 +113,7 @@ pub fn tag_prefix(
             let locs = db.lookup_typed(label, GeohintType::Facility);
             let consistent: Vec<LocationId> = locs
                 .into_iter()
-                .filter(|id| rtt_consistent(vps, rtts, &db.location(*id).coords, policy))
+                .filter(|id| feas.feasible(db, vps, policy, key, rtts, *id))
                 .collect();
             if !consistent.is_empty() {
                 tags.push(Tag {
@@ -137,6 +167,8 @@ fn push_consistent(
     vps: &VpSet,
     rtts: &RouterRtts,
     policy: &ConsistencyPolicy,
+    feas: &FeasibilityCache,
+    key: u64,
     tags: &mut Vec<Tag>,
     token: &Token<'_>,
     split_two: Option<&Token<'_>>,
@@ -145,7 +177,7 @@ fn push_consistent(
     use std::collections::HashMap;
     let mut by_type: HashMap<GeohintType, Vec<LocationId>> = HashMap::new();
     for c in cands {
-        if rtt_consistent(vps, rtts, &db.location(c.location).coords, policy) {
+        if feas.feasible(db, vps, policy, key, rtts, c.location) {
             by_type.entry(c.hint_type).or_default().push(c.location);
         }
     }

@@ -12,13 +12,17 @@
 //!
 //! and the ranking metrics ATP = TP − (FP + FN + UNK) and
 //! PPV = TP / (TP + FP).
+//!
+//! All evaluation goes through a per-suffix [`EvalContext`], which
+//! memoizes hint decoding and RTT feasibility across the hundreds of
+//! candidate regexes a suffix is evaluated with.
 
 use crate::convention::{Extraction, GeoRegex, NamingConvention};
+use crate::evalctx::{EvalContext, HintId};
 use crate::learned::LearnedHints;
 use crate::train::TrainHost;
 use hoiho_geodb::GeoDb;
 use hoiho_geotypes::LocationId;
-use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy, VpSet};
 use std::collections::HashSet;
 
 /// Per-hostname outcome.
@@ -47,8 +51,10 @@ pub struct Metrics {
     pub fn_: usize,
     /// Unknown extractions.
     pub unk: usize,
-    /// Distinct TP hint strings.
-    pub unique_hints: HashSet<String>,
+    /// Distinct TP hints, as canonical interned ids (deduped by hint
+    /// text). Resolved back to strings only at the report boundary via
+    /// [`EvalContext::resolve_hints`].
+    pub unique_hints: HashSet<HintId>,
 }
 
 impl Metrics {
@@ -66,12 +72,12 @@ impl Metrics {
         }
     }
 
-    fn add(&mut self, outcome: Outcome, hint: Option<&str>) {
+    fn add(&mut self, outcome: Outcome, hint: Option<HintId>) {
         match outcome {
             Outcome::Tp => {
                 self.tp += 1;
                 if let Some(h) = hint {
-                    self.unique_hints.insert(h.to_string());
+                    self.unique_hints.insert(h);
                 }
             }
             Outcome::Fp => self.fp += 1,
@@ -93,7 +99,9 @@ pub struct EvalResult {
 }
 
 /// Decode a hint string through the suffix-specific learned dictionary
-/// first, then the reference dictionary.
+/// first, then the reference dictionary. This is the uncached entry
+/// point used when applying published artifacts; the learn path decodes
+/// through [`EvalContext`] instead.
 pub fn decode(
     db: &GeoDb,
     learned: Option<&LearnedHints>,
@@ -107,11 +115,10 @@ pub fn decode(
     db.lookup_typed(&extraction.hint, extraction.ty)
 }
 
-/// Classify one host's extraction.
+/// Classify one host's extraction, decoding and testing feasibility
+/// through the context's memos.
 pub fn classify_host(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
+    ctx: &EvalContext<'_>,
     host: &TrainHost,
     extraction: Option<&Extraction>,
     learned: Option<&LearnedHints>,
@@ -123,25 +130,39 @@ pub fn classify_host(
             Outcome::Ignore
         };
     };
-    let locs = decode(db, learned, e);
+    // Learned hints are a delta over the base decode: a hit bypasses
+    // the memo (one location), a miss falls through to it — so stage 4
+    // never invalidates anything.
+    if let Some(loc) = learned.and_then(|l| l.get(&e.hint, e.ty)) {
+        return classify_decoded(ctx, host, e, std::slice::from_ref(&loc));
+    }
+    let id = ctx.intern(&e.hint, e.ty);
+    let locs = ctx.base_decode(id);
+    classify_decoded(ctx, host, e, &locs)
+}
+
+/// The classification rules, given the decoded locations of the
+/// extraction.
+fn classify_decoded(
+    ctx: &EvalContext<'_>,
+    host: &TrainHost,
+    e: &Extraction,
+    locs: &[LocationId],
+) -> Outcome {
     if locs.is_empty() {
         return Outcome::Unk;
     }
     // RTT feasibility (vacuously true for unmeasured routers — regexes
     // generalise to routers delay measurements cannot reach).
-    let consistent: Vec<LocationId> = locs
-        .into_iter()
-        .filter(|id| rtt_consistent(vps, &host.rtts, &db.location(*id).coords, policy))
-        .collect();
-    if consistent.is_empty() {
+    if !locs.iter().any(|id| ctx.feasible(host, *id)) {
         return Outcome::Fp;
     }
     // Extracted country/state tokens must describe the location.
     if !e.cc_tokens.is_empty() {
-        let cc_ok = consistent.iter().any(|id| {
+        let cc_ok = locs.iter().filter(|id| ctx.feasible(host, **id)).any(|id| {
             e.cc_tokens
                 .iter()
-                .all(|t| db.location(*id).matches_cc_or_state(t))
+                .all(|t| ctx.db.location(*id).matches_cc_or_state(t))
         });
         if !cc_ok {
             return Outcome::Fp;
@@ -149,12 +170,11 @@ pub fn classify_host(
     }
     // The apparent-geohint tag for this string dictates which codes the
     // regex had to extract (fig 6a: extracting "lhr" without "uk" is FN).
-    if let Some(tag) = host
-        .tags
-        .iter()
-        .find(|t| t.text == e.hint && t.ty == e.ty)
-        .or_else(|| host.tags.iter().find(|t| t.text == e.hint))
-    {
+    // Tags are matched on (text, type) — a same-text tag of a different
+    // dictionary says nothing about this extraction — and ties between
+    // multiple (text, type) tags break to the first in the (start, end)
+    // sort order stage 2 produces.
+    if let Some(tag) = host.tags.iter().find(|t| t.text == e.hint && t.ty == e.ty) {
         let all_extracted = tag
             .cc_texts
             .iter()
@@ -166,36 +186,42 @@ pub fn classify_host(
     Outcome::Tp
 }
 
-/// Evaluate a full NC: the first matching regex provides the extraction.
-pub fn eval_nc(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
-    hosts: &[TrainHost],
-    nc: &NamingConvention,
+/// Evaluate a borrowed regex list over the context's hosts: the first
+/// matching regex provides the extraction. This is the shared engine
+/// behind [`eval_nc`] and [`eval_regex`] — no suffix or regex cloning
+/// per candidate.
+fn eval_regexes(
+    ctx: &EvalContext<'_>,
+    regexes: &[GeoRegex],
     learned: Option<&LearnedHints>,
 ) -> EvalResult {
     let mut metrics = Metrics::default();
-    let mut per_host = Vec::with_capacity(hosts.len());
-    for host in hosts {
+    let mut per_host = Vec::with_capacity(ctx.hosts.len());
+    for host in ctx.hosts {
         let mut ext = None;
         let mut which = None;
-        for (i, r) in nc.regexes.iter().enumerate() {
+        for (i, r) in regexes.iter().enumerate() {
             if let Some(e) = r.extract(&host.hostname) {
                 ext = Some(e);
                 which = Some(i);
                 break;
             }
         }
-        let outcome = classify_host(db, vps, policy, host, ext.as_ref(), learned);
-        metrics.add(outcome, ext.as_ref().map(|e| e.hint.as_str()));
+        let outcome = classify_host(ctx, host, ext.as_ref(), learned);
+        let hint = if outcome == Outcome::Tp {
+            ext.as_ref()
+                .map(|e| ctx.canonical(ctx.intern(&e.hint, e.ty)))
+        } else {
+            None
+        };
+        metrics.add(outcome, hint);
         per_host.push((ext, outcome, which));
     }
-    // One batch of counter updates per evaluation, not per host: eval_nc
+    // One batch of counter updates per evaluation, not per host: this
     // runs once per candidate regex, so per-host counting would dominate.
     if hoiho_obs::enabled() {
         hoiho_obs::counter!("eval.evaluations").inc();
-        hoiho_obs::counter!("eval.hosts").add(hosts.len() as u64);
+        hoiho_obs::counter!("eval.hosts").add(ctx.hosts.len() as u64);
         hoiho_obs::counter!("eval.matches")
             .add(per_host.iter().filter(|(e, _, _)| e.is_some()).count() as u64);
         hoiho_obs::counter!("eval.tp").add(metrics.tp as u64);
@@ -206,31 +232,35 @@ pub fn eval_nc(
     EvalResult { metrics, per_host }
 }
 
-/// Evaluate a single regex as a one-regex NC.
+/// Evaluate a full NC against the context's hosts.
+pub fn eval_nc(
+    ctx: &EvalContext<'_>,
+    nc: &NamingConvention,
+    learned: Option<&LearnedHints>,
+) -> EvalResult {
+    eval_regexes(ctx, &nc.regexes, learned)
+}
+
+/// Evaluate a single regex, borrowed — no throwaway one-regex NC.
 pub fn eval_regex(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
-    hosts: &[TrainHost],
-    suffix: &str,
+    ctx: &EvalContext<'_>,
     regex: &GeoRegex,
     learned: Option<&LearnedHints>,
 ) -> EvalResult {
-    let nc = NamingConvention {
-        suffix: suffix.to_string(),
-        regexes: vec![regex.clone()],
-    };
-    eval_nc(db, vps, policy, hosts, &nc, learned)
+    eval_regexes(ctx, std::slice::from_ref(regex), learned)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::apparent::Tag;
     use crate::convention::{CaptureRole, Plan};
     use hoiho_geotypes::{Coordinates, GeohintType, Rtt};
     use hoiho_regex::Regex;
-    use hoiho_rtt::{RouterRtts, VpId};
+    use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpId, VpSet};
     use std::sync::Arc;
+
+    const POLICY: ConsistencyPolicy = ConsistencyPolicy::STRICT;
 
     fn world() -> (GeoDb, VpSet) {
         let db = GeoDb::builtin();
@@ -251,7 +281,7 @@ mod tests {
             let parts: Vec<&str> = hostname.split('.').collect();
             parts[..parts.len() - 2].join(".")
         };
-        let tags = crate::apparent::tag_prefix(db, vps, &rtts, &prefix, &ConsistencyPolicy::STRICT);
+        let tags = crate::apparent::tag_prefix(db, vps, &rtts, &prefix, &POLICY);
         TrainHost {
             hostname: hostname.to_string(),
             prefix,
@@ -259,6 +289,19 @@ mod tests {
             rtts,
             tags,
         }
+    }
+
+    /// Classify one host through a fresh single-host context.
+    fn classify_one(
+        db: &GeoDb,
+        vps: &VpSet,
+        h: &TrainHost,
+        e: Option<&Extraction>,
+        learned: Option<&LearnedHints>,
+    ) -> Outcome {
+        let hosts = std::slice::from_ref(h);
+        let ctx = EvalContext::new(db, vps, &POLICY, "example.net", hosts);
+        classify_host(&ctx, h, e, learned)
     }
 
     fn iata_regex() -> GeoRegex {
@@ -275,8 +318,7 @@ mod tests {
         let (db, vps) = world();
         let h = host(&db, &vps, "cr1.lhr1.example.net", &[(1, 2.0)]);
         let e = iata_regex().extract(&h.hostname);
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Tp);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Tp);
     }
 
     #[test]
@@ -285,8 +327,7 @@ mod tests {
         // 2ms from DC rules out London.
         let h = host(&db, &vps, "cr1.lhr1.example.net", &[(0, 2.0)]);
         let e = iata_regex().extract(&h.hostname);
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Fp);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Fp);
     }
 
     #[test]
@@ -295,8 +336,7 @@ mod tests {
         let h = host(&db, &vps, "cr1.qqq1.example.net", &[(0, 2.0)]);
         let e = iata_regex().extract(&h.hostname);
         assert!(e.is_some());
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Unk);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Unk);
     }
 
     #[test]
@@ -306,8 +346,7 @@ mod tests {
         // doesn't match the hostname (extra label).
         let h = host(&db, &vps, "a.b.cr1.lhr1x.example.net", &[(1, 2.0)]);
         assert!(h.is_tagged());
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, None, None);
-        assert_eq!(o, Outcome::Fn);
+        assert_eq!(classify_one(&db, &vps, &h, None, None), Outcome::Fn);
     }
 
     #[test]
@@ -315,8 +354,7 @@ mod tests {
         let (db, vps) = world();
         let h = host(&db, &vps, "static-1-2.example.net", &[(0, 5.0)]);
         assert!(!h.is_tagged());
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, None, None);
-        assert_eq!(o, Outcome::Ignore);
+        assert_eq!(classify_one(&db, &vps, &h, None, None), Outcome::Ignore);
     }
 
     #[test]
@@ -333,8 +371,7 @@ mod tests {
         };
         let e = r.extract(&h.hostname);
         assert!(e.is_some());
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Fn);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Fn);
     }
 
     #[test]
@@ -349,19 +386,76 @@ mod tests {
             },
         };
         let e = r.extract(&h.hostname);
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Tp);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Tp);
+    }
+
+    /// A same-text tag of a *different* dictionary must not impose its
+    /// country codes on the extraction: tag matching is strict on
+    /// (text, type).
+    #[test]
+    fn tag_match_requires_same_type() {
+        let (db, vps) = world();
+        let mut h = host(&db, &vps, "cr1.lhr1.example.net", &[(1, 2.0)]);
+        // Replace the real tags with a single CityName tag of the same
+        // text carrying a cc requirement the regex cannot satisfy.
+        h.tags = vec![Tag {
+            start: 4,
+            end: 7,
+            text: "lhr".into(),
+            ty: GeohintType::CityName,
+            locations: db.lookup_typed("lhr", GeohintType::Iata),
+            cc_texts: vec!["uk".into()],
+            split: None,
+        }];
+        let e = iata_regex().extract(&h.hostname);
+        assert_eq!(e.as_ref().unwrap().ty, GeohintType::Iata);
+        // The old text-only fallback would demand "uk" and score FN;
+        // strict (text, type) matching scores TP.
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Tp);
+    }
+
+    /// With several tags of the same (text, type), the first in the
+    /// (start, end) sort order stage 2 emits decides the required codes.
+    #[test]
+    fn tag_tie_breaks_to_first_span() {
+        let (db, vps) = world();
+        let mut h = host(&db, &vps, "cr1.lhr1.example.net", &[(1, 2.0)]);
+        let locations = db.lookup_typed("lhr", GeohintType::Iata);
+        h.tags = vec![
+            Tag {
+                start: 4,
+                end: 7,
+                text: "lhr".into(),
+                ty: GeohintType::Iata,
+                locations: locations.clone(),
+                cc_texts: vec!["uk".into()],
+                split: None,
+            },
+            Tag {
+                start: 9,
+                end: 12,
+                text: "lhr".into(),
+                ty: GeohintType::Iata,
+                locations,
+                cc_texts: Vec::new(),
+                split: None,
+            },
+        ];
+        let e = iata_regex().extract(&h.hostname);
+        // The first tag's "uk" requirement wins over the later tag
+        // without one, so the plain extraction is FN.
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Fn);
     }
 
     #[test]
     fn metrics_math() {
         let mut m = Metrics::default();
-        m.add(Outcome::Tp, Some("lhr"));
-        m.add(Outcome::Tp, Some("lhr"));
-        m.add(Outcome::Tp, Some("fra"));
-        m.add(Outcome::Fp, Some("ntt"));
+        m.add(Outcome::Tp, Some(HintId(0)));
+        m.add(Outcome::Tp, Some(HintId(0)));
+        m.add(Outcome::Tp, Some(HintId(1)));
+        m.add(Outcome::Fp, None);
         m.add(Outcome::Fn, None);
-        m.add(Outcome::Unk, Some("qqq"));
+        m.add(Outcome::Unk, None);
         m.add(Outcome::Ignore, None);
         assert_eq!(m.tp, 3);
         assert_eq!(m.atp(), 3 - 3);
@@ -375,7 +469,65 @@ mod tests {
         let h = host(&db, &vps, "cr1.lhr1.example.net", &[]);
         assert!(!h.is_tagged()); // no RTTs → no tags
         let e = iata_regex().extract(&h.hostname);
-        let o = classify_host(&db, &vps, &ConsistencyPolicy::STRICT, &h, e.as_ref(), None);
-        assert_eq!(o, Outcome::Tp);
+        assert_eq!(classify_one(&db, &vps, &h, e.as_ref(), None), Outcome::Tp);
+    }
+
+    /// Memoized classification must equal a cold single-host context on
+    /// randomized hosts — the cache changes cost, never outcomes.
+    #[test]
+    fn cached_outcomes_match_fresh_context_on_random_hosts() {
+        use hoiho_rtt::rng::{Rng, StdRng};
+        let (db, vps) = world();
+        let mut rng = StdRng::seed_from_u64(0xE7A1C);
+        let hints = [
+            "lhr", "cdg", "fra", "ams", "iad", "qqq", "zzz", "xyz", "lon", "par",
+        ];
+        let ms_choices = [2.0, 8.0, 25.0, 60.0, 120.0];
+        let hosts: Vec<TrainHost> = (0..160)
+            .map(|i| {
+                let hint = hints[rng.random_range(0..hints.len())];
+                let name = format!("cr{}.{hint}{}.example.net", i % 7, i % 4);
+                let mut pairs = Vec::new();
+                for vp in 0..2u16 {
+                    if rng.random_range(0..4u32) > 0 {
+                        pairs.push((vp, ms_choices[rng.random_range(0..ms_choices.len())]));
+                    }
+                }
+                host(&db, &vps, &name, &pairs)
+            })
+            .collect();
+        // A learned overlay for one junk token, to exercise the delta
+        // path as well.
+        let lhr = db.lookup_typed("lhr", GeohintType::Iata)[0];
+        let learned = LearnedHints::from_hints(vec![crate::learned::LearnedHint {
+            token: "qqq".into(),
+            ty: GeohintType::Iata,
+            location: lhr,
+            tp: 3,
+            fp: 0,
+            existing_tp: 0,
+        }]);
+        let regex = iata_regex();
+        let shared = EvalContext::new(&db, &vps, &POLICY, "example.net", &hosts);
+        for learned in [None, Some(&learned)] {
+            // Two passes: the second runs fully hot against the memos.
+            for _pass in 0..2 {
+                for h in &hosts {
+                    let e = regex.extract(&h.hostname);
+                    let warm = classify_host(&shared, h, e.as_ref(), learned);
+                    let cold = classify_one(&db, &vps, h, e.as_ref(), learned);
+                    assert_eq!(warm, cold, "host {}", h.hostname);
+                }
+            }
+        }
+        // And the aggregated view agrees with itself when re-evaluated.
+        let nc = NamingConvention {
+            suffix: "example.net".into(),
+            regexes: vec![regex],
+        };
+        let a = eval_nc(&shared, &nc, Some(&learned));
+        let b = eval_nc(&shared, &nc, Some(&learned));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.per_host, b.per_host);
     }
 }

@@ -10,10 +10,9 @@
 
 use crate::convention::NamingConvention;
 use crate::eval::EvalResult;
-use crate::train::TrainHost;
+use crate::evalctx::EvalContext;
 use hoiho_geodb::{builder::clli_region, GeoDb};
 use hoiho_geotypes::{GeohintType, LocationId, LocationKind};
-use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy, VpSet};
 use std::collections::{HashMap, HashSet};
 
 /// One learned suffix-specific geohint with its evidence.
@@ -119,16 +118,16 @@ impl Default for LearnPolicy {
 }
 
 /// Learn suffix-specific geohints from an NC's FP and UNK extractions.
+/// Candidate scoring shares the context's RTT-feasibility memo with the
+/// rest of the evaluation layer.
 pub fn learn_hints(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
+    ctx: &EvalContext<'_>,
     learn: &LearnPolicy,
-    hosts: &[TrainHost],
     nc: &NamingConvention,
     eval: &EvalResult,
 ) -> LearnedHints {
     use crate::eval::Outcome;
+    let db = ctx.db;
 
     // Group FP/UNK extractions by token.
     struct Group {
@@ -188,7 +187,7 @@ pub fn learn_hints(
         let mut scored: Vec<(LocationId, usize, usize)> = candidates
             .iter()
             .map(|&loc| {
-                let (tp, fp) = score(db, vps, policy, hosts, &g.host_idx, loc);
+                let (tp, fp) = score(ctx, &g.host_idx, loc);
                 (loc, tp, fp)
             })
             .collect();
@@ -214,7 +213,7 @@ pub fn learn_hints(
         let existing = db.lookup_typed(&token, g.ty);
         let existing_tp = existing
             .iter()
-            .map(|&l| score(db, vps, policy, hosts, &g.host_idx, l).0)
+            .map(|&l| score(ctx, &g.host_idx, l).0)
             .max()
             .unwrap_or(0);
 
@@ -251,24 +250,17 @@ pub fn learn_hints(
 }
 
 /// Count distinct routers RTT-consistent (TP) / inconsistent (FP) with a
-/// candidate location. Routers without measurements contribute nothing.
-fn score(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
-    hosts: &[TrainHost],
-    host_idx: &[usize],
-    loc: LocationId,
-) -> (usize, usize) {
-    let coords = db.location(loc).coords;
+/// candidate location, through the context's feasibility memo. Routers
+/// without measurements contribute nothing.
+fn score(ctx: &EvalContext<'_>, host_idx: &[usize], loc: LocationId) -> (usize, usize) {
     let mut tp_routers = HashSet::new();
     let mut fp_routers = HashSet::new();
     for &i in host_idx {
-        let h = &hosts[i];
+        let h = &ctx.hosts[i];
         if h.rtts.is_empty() {
             continue;
         }
-        if rtt_consistent(vps, &h.rtts, &coords, policy) {
+        if ctx.feasible(h, loc) {
             tp_routers.insert(h.router);
         } else {
             fp_routers.insert(h.router);
@@ -323,10 +315,13 @@ mod tests {
     use super::*;
     use crate::convention::{CaptureRole, GeoRegex, Plan};
     use crate::eval::eval_nc;
+    use crate::train::TrainHost;
     use hoiho_geotypes::{Coordinates, Rtt};
     use hoiho_regex::Regex;
-    use hoiho_rtt::{RouterRtts, VpId, VpSet};
+    use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpId, VpSet};
     use std::sync::Arc;
+
+    const POLICY: ConsistencyPolicy = ConsistencyPolicy::STRICT;
 
     fn world() -> (GeoDb, VpSet) {
         let db = GeoDb::builtin();
@@ -384,31 +379,17 @@ mod tests {
             host(&db, &vps, 5, "a.core1.zrh1.example.net", &[(1, 2.0)]),
             host(&db, &vps, 6, "b.core1.zrh2.example.net", &[(1, 2.0)]),
         ];
-        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
+        let ctx = EvalContext::new(&db, &vps, &POLICY, "example.net", &hosts);
+        let eval = eval_nc(&ctx, &nc, None);
         // "ash" decodes to Nashua which is ~700km away: FPs.
         assert!(eval.metrics.fp >= 3, "fp = {}", eval.metrics.fp);
-        let learned = learn_hints(
-            &db,
-            &vps,
-            &ConsistencyPolicy::STRICT,
-            &LearnPolicy::default(),
-            &hosts,
-            &nc,
-            &eval,
-        );
+        let learned = learn_hints(&ctx, &LearnPolicy::default(), &nc, &eval);
         let loc = learned.get("ash", GeohintType::Iata).expect("ash learned");
         let l = db.location(loc);
         assert_eq!(l.name, "Ashburn");
         assert_eq!(l.state.unwrap().as_str(), "va");
         // Re-evaluation with the learned hint turns the FPs into TPs.
-        let eval2 = eval_nc(
-            &db,
-            &vps,
-            &ConsistencyPolicy::STRICT,
-            &hosts,
-            &nc,
-            Some(&learned),
-        );
+        let eval2 = eval_nc(&ctx, &nc, Some(&learned));
         assert!(eval2.metrics.tp > eval.metrics.tp);
         assert_eq!(eval2.metrics.fp, 0);
     }
@@ -469,16 +450,9 @@ mod tests {
         ];
         // The supporting hostnames use the derived dictionary CLLI
         // prefixes for Zurich/Geneva/Munich so the NC itself looks sane.
-        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
-        let learned = learn_hints(
-            &db,
-            &vps,
-            &ConsistencyPolicy::STRICT,
-            &LearnPolicy::default(),
-            &hosts,
-            &nc,
-            &eval,
-        );
+        let ctx = EvalContext::new(&db, &vps, &POLICY, "example.net", &hosts);
+        let eval = eval_nc(&ctx, &nc, None);
+        let learned = learn_hints(&ctx, &LearnPolicy::default(), &nc, &eval);
         let loc = learned
             .get("mlanit", GeohintType::Clli)
             .expect("mlanit learned");
@@ -505,16 +479,9 @@ mod tests {
             "gcr.core1.ash1.example.net",
             &[(0, 5.0)],
         )];
-        let eval = eval_nc(&db, &vps, &ConsistencyPolicy::STRICT, &hosts, &nc, None);
-        let learned = learn_hints(
-            &db,
-            &vps,
-            &ConsistencyPolicy::STRICT,
-            &LearnPolicy::default(),
-            &hosts,
-            &nc,
-            &eval,
-        );
+        let ctx = EvalContext::new(&db, &vps, &POLICY, "example.net", &hosts);
+        let eval = eval_nc(&ctx, &nc, None);
+        let learned = learn_hints(&ctx, &LearnPolicy::default(), &nc, &eval);
         assert!(learned.get("ash", GeohintType::Iata).is_none());
     }
 

@@ -49,6 +49,7 @@ pub mod artifact;
 pub mod builder;
 pub mod convention;
 pub mod eval;
+pub mod evalctx;
 pub mod learned;
 pub mod pipeline;
 pub mod rank;
@@ -60,6 +61,7 @@ pub mod train;
 pub use apply::{GeoInference, Geolocator, SuffixGeo};
 pub use convention::{CaptureRole, Extraction, GeoRegex, NamingConvention, Plan};
 pub use eval::{EvalResult, Metrics, Outcome};
+pub use evalctx::{EvalContext, FeasibilityCache, HintId};
 pub use learned::{LearnPolicy, LearnedHint, LearnedHints, RankOrder};
 pub use pipeline::{Hoiho, HoihoOptions, LearnReport, SuffixResult};
 pub use rank::NcClass;

@@ -3,6 +3,7 @@
 use crate::builder::{base_regexes_for_host, embed_character_classes, merge_digit_optional};
 use crate::convention::{GeoRegex, NamingConvention};
 use crate::eval::{eval_nc, eval_regex, EvalResult, Metrics, Outcome};
+use crate::evalctx::EvalContext;
 use crate::learned::{learn_hints, LearnPolicy, LearnedHints};
 use crate::rank::{classify_nc, select_nc, NcClass};
 use crate::train::{build_training_sets, SuffixSet};
@@ -51,6 +52,20 @@ impl Default for HoihoOptions {
     }
 }
 
+impl HoihoOptions {
+    /// The worker-thread count actually used: `threads`, or the
+    /// machine's available parallelism when it is 0 (auto-detect).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
 /// The outcome for one suffix.
 #[derive(Debug, Clone)]
 pub struct SuffixResult {
@@ -66,6 +81,10 @@ pub struct SuffixResult {
     pub metrics: Option<Metrics>,
     /// Quality class.
     pub class: NcClass,
+    /// The distinct TP hint texts behind `metrics.unique_hints`,
+    /// sorted — interned ids resolved back to strings at this report
+    /// boundary.
+    pub unique_hints: Vec<String>,
     /// Suffix-specific learned geohints.
     pub learned: LearnedHints,
     /// Routers with apparent geohints whose hostnames this NC
@@ -224,14 +243,7 @@ impl<'a> Hoiho<'a> {
     /// order-preserving loop.
     fn learn_all(&self, vps: &VpSet, sets: &[SuffixSet]) -> Vec<SuffixResult> {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let threads = if self.opts.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.opts.threads
-        }
-        .min(sets.len().max(1));
+        let threads = self.opts.resolved_threads().min(sets.len().max(1));
         let done = AtomicUsize::new(0);
         let report = |result: &SuffixResult, done: &AtomicUsize| {
             if hoiho_obs::enabled() {
@@ -300,6 +312,7 @@ impl<'a> Hoiho<'a> {
             nc: None,
             metrics: None,
             class,
+            unique_hints: Vec::new(),
             learned: LearnedHints::new(),
             geolocated_routers: HashSet::new(),
             extrapolated_routers: HashSet::new(),
@@ -308,6 +321,9 @@ impl<'a> Hoiho<'a> {
             return empty(NcClass::Poor);
         }
         let _suffix_span = hoiho_obs::span_detail("learn.suffix", set.suffix.clone());
+        // One evaluation context for the whole suffix: every candidate
+        // below shares its decode and feasibility memos.
+        let ctx = EvalContext::new(self.db, vps, &self.opts.policy, &set.suffix, hosts);
 
         // Phase 1: base regexes, deduplicated, most-generated first.
         let phase1 = hoiho_obs::span("learn.suffix.phase1");
@@ -338,7 +354,7 @@ impl<'a> Hoiho<'a> {
         let mut evals: Vec<(GeoRegex, EvalResult)> = Vec::new();
         let mut seen: HashSet<String> = HashSet::new();
         for (r, _) in &cands {
-            let e = eval_regex(self.db, vps, &self.opts.policy, hosts, &set.suffix, r, None);
+            let e = eval_regex(&ctx, r, None);
             if e.metrics.tp > 0 {
                 seen.insert(r.regex.as_pattern());
                 evals.push((r.clone(), e));
@@ -354,15 +370,7 @@ impl<'a> Hoiho<'a> {
         let singles: Vec<GeoRegex> = evals.iter().map(|(r, _)| r.clone()).collect();
         for m in merge_digit_optional(&singles) {
             if seen.insert(m.regex.as_pattern()) {
-                let e = eval_regex(
-                    self.db,
-                    vps,
-                    &self.opts.policy,
-                    hosts,
-                    &set.suffix,
-                    &m,
-                    None,
-                );
+                let e = eval_regex(&ctx, &m, None);
                 if e.metrics.tp > 0 {
                     evals.push((m, e));
                 }
@@ -383,15 +391,7 @@ impl<'a> Hoiho<'a> {
         for (r, _) in evals.iter().take(self.opts.refine_top) {
             if let Some(n) = embed_character_classes(hosts, r) {
                 if seen.insert(n.regex.as_pattern()) {
-                    let e = eval_regex(
-                        self.db,
-                        vps,
-                        &self.opts.policy,
-                        hosts,
-                        &set.suffix,
-                        &n,
-                        None,
-                    );
+                    let e = eval_regex(&ctx, &n, None);
                     if e.metrics.tp > 0 {
                         refined.push((n, e));
                     }
@@ -410,36 +410,30 @@ impl<'a> Hoiho<'a> {
 
         // Phase 4 + stage 5.
         let phase4 = hoiho_obs::span("learn.suffix.phase4");
-        let ncs =
-            crate::sets::build_sets(self.db, vps, &self.opts.policy, hosts, &set.suffix, &evals);
+        let ncs = crate::sets::build_sets(&ctx, &evals);
         let selected = select_nc(ncs);
         drop(phase4);
         let Some((nc, mut eval)) = selected else {
             return empty(NcClass::Poor);
         };
 
-        // Stage 4: learned geohints, then re-evaluate.
+        // Stage 4: learned geohints, then re-evaluate. The learned
+        // overlay rides on top of the context's decode memo, so nothing
+        // is invalidated here.
         let mut learned = LearnedHints::new();
         if self.opts.learn_custom_hints
             && eval.metrics.unique_hints.len() >= 3
             && eval.metrics.ppv() > 0.40
         {
             let _hints_span = hoiho_obs::span("learn.suffix.hints");
-            learned = learn_hints(
-                self.db,
-                vps,
-                &self.opts.policy,
-                &self.opts.learn,
-                hosts,
-                &nc,
-                &eval,
-            );
+            learned = learn_hints(&ctx, &self.opts.learn, &nc, &eval);
             if !learned.is_empty() {
-                eval = eval_nc(self.db, vps, &self.opts.policy, hosts, &nc, Some(&learned));
+                eval = eval_nc(&ctx, &nc, Some(&learned));
             }
         }
 
         let class = classify_nc(&eval.metrics);
+        let unique_hints = ctx.resolve_hints(&eval.metrics.unique_hints);
         let mut geolocated_routers = HashSet::new();
         let mut extrapolated_routers = HashSet::new();
         for (h, (_, outcome, _)) in hosts.iter().zip(eval.per_host.iter()) {
@@ -458,6 +452,7 @@ impl<'a> Hoiho<'a> {
             nc: Some(nc),
             metrics: Some(eval.metrics),
             class,
+            unique_hints,
             learned,
             geolocated_routers,
             extrapolated_routers,
@@ -524,6 +519,59 @@ mod tests {
             let m = r.metrics.as_ref().unwrap();
             assert!(m.ppv() >= 0.8, "{}: ppv {}", r.suffix, m.ppv());
             assert!(m.unique_hints.len() >= 3);
+        }
+    }
+
+    /// The per-suffix EvalContext makes each suffix's evaluation
+    /// self-contained, so the thread count must not change anything:
+    /// same classes, same metrics, same patterns, same learned hints.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let db = GeoDb::builtin();
+        let psl = PublicSuffixList::builtin();
+        let g = hoiho_itdk::generate(&db, &spec());
+        let run = |threads: usize| {
+            Hoiho::with_options(
+                &db,
+                &psl,
+                HoihoOptions {
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .learn_corpus(&g.corpus)
+        };
+        let one = run(1);
+        let eight = run(8);
+
+        assert_eq!(one.total_routers, eight.total_routers);
+        assert_eq!(one.routers_with_hostname, eight.routers_with_hostname);
+        assert_eq!(one.routers_with_apparent, eight.routers_with_apparent);
+        assert_eq!(one.routers_geolocated, eight.routers_geolocated);
+        assert_eq!(one.results.len(), eight.results.len());
+        for (a, b) in one.results.iter().zip(eight.results.iter()) {
+            assert_eq!(a.suffix, b.suffix);
+            assert_eq!(a.hosts, b.hosts);
+            assert_eq!(a.tagged_hosts, b.tagged_hosts);
+            assert_eq!(a.class, b.class, "{}", a.suffix);
+            assert_eq!(a.metrics, b.metrics, "{}", a.suffix);
+            assert_eq!(a.unique_hints, b.unique_hints, "{}", a.suffix);
+            assert_eq!(a.learned, b.learned, "{}", a.suffix);
+            let patterns = |r: &SuffixResult| {
+                r.nc.as_ref().map(|nc| {
+                    nc.regexes
+                        .iter()
+                        .map(|g| g.regex.as_pattern())
+                        .collect::<Vec<_>>()
+                })
+            };
+            assert_eq!(patterns(a), patterns(b), "{}", a.suffix);
+            assert_eq!(a.geolocated_routers, b.geolocated_routers, "{}", a.suffix);
+            assert_eq!(
+                a.extrapolated_routers, b.extrapolated_routers,
+                "{}",
+                a.suffix
+            );
         }
     }
 

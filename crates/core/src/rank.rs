@@ -75,40 +75,28 @@ pub fn select_nc(
 mod tests {
     use super::*;
     use crate::convention::{CaptureRole, GeoRegex, Plan};
+    use crate::evalctx::HintId;
     use hoiho_geotypes::GeohintType;
     use hoiho_regex::Regex;
-    use std::collections::HashSet;
 
-    fn metrics(tp: usize, fp: usize, fn_: usize, unk: usize, uniq: &[&str]) -> Metrics {
+    fn metrics(tp: usize, fp: usize, fn_: usize, unk: usize, uniq: usize) -> Metrics {
         Metrics {
             tp,
             fp,
             fn_,
             unk,
-            unique_hints: uniq.iter().map(|s| s.to_string()).collect::<HashSet<_>>(),
+            unique_hints: (0..uniq).map(|i| HintId(i as u32)).collect(),
         }
     }
 
     #[test]
     fn classification_thresholds() {
-        assert_eq!(
-            classify_nc(&metrics(90, 5, 0, 0, &["a", "b", "c"])),
-            NcClass::Good
-        );
-        assert_eq!(
-            classify_nc(&metrics(85, 15, 0, 0, &["a", "b", "c"])),
-            NcClass::Promising
-        );
+        assert_eq!(classify_nc(&metrics(90, 5, 0, 0, 3)), NcClass::Good);
+        assert_eq!(classify_nc(&metrics(85, 15, 0, 0, 3)), NcClass::Promising);
         // Too few unique hints even at perfect PPV.
-        assert_eq!(
-            classify_nc(&metrics(100, 0, 0, 0, &["a", "b"])),
-            NcClass::Poor
-        );
+        assert_eq!(classify_nc(&metrics(100, 0, 0, 0, 2)), NcClass::Poor);
         // PPV below 80%.
-        assert_eq!(
-            classify_nc(&metrics(70, 30, 0, 0, &["a", "b", "c"])),
-            NcClass::Poor
-        );
+        assert_eq!(classify_nc(&metrics(70, 30, 0, 0, 3)), NcClass::Poor);
         assert!(NcClass::Good.usable());
         assert!(NcClass::Promising.usable());
         assert!(!NcClass::Poor.usable());
@@ -137,8 +125,8 @@ mod tests {
     #[test]
     fn select_prefers_atp() {
         let picked = select_nc(vec![
-            (nc_with(1), eval_with(metrics(10, 5, 0, 0, &["a"]))),
-            (nc_with(1), eval_with(metrics(20, 0, 0, 0, &["a"]))),
+            (nc_with(1), eval_with(metrics(10, 5, 0, 0, 1))),
+            (nc_with(1), eval_with(metrics(20, 0, 0, 0, 1))),
         ])
         .unwrap();
         assert_eq!(picked.1.metrics.tp, 20);
@@ -148,15 +136,15 @@ mod tests {
     fn select_prefers_fewer_regexes_when_close() {
         // 3 regexes, 20 TP vs 1 regex, 18 TP → within 3 TPs, pick small.
         let picked = select_nc(vec![
-            (nc_with(3), eval_with(metrics(20, 0, 0, 0, &["a"]))),
-            (nc_with(1), eval_with(metrics(18, 0, 0, 0, &["a"]))),
+            (nc_with(3), eval_with(metrics(20, 0, 0, 0, 1))),
+            (nc_with(1), eval_with(metrics(18, 0, 0, 0, 1))),
         ])
         .unwrap();
         assert_eq!(picked.0.regexes.len(), 1);
         // ...but not when the gap is bigger.
         let picked = select_nc(vec![
-            (nc_with(3), eval_with(metrics(20, 0, 0, 0, &["a"]))),
-            (nc_with(1), eval_with(metrics(10, 0, 0, 0, &["a"]))),
+            (nc_with(3), eval_with(metrics(20, 0, 0, 0, 1))),
+            (nc_with(1), eval_with(metrics(10, 0, 0, 0, 1))),
         ])
         .unwrap();
         assert_eq!(picked.0.regexes.len(), 3);

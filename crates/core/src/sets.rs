@@ -7,9 +7,7 @@
 
 use crate::convention::{GeoRegex, NamingConvention};
 use crate::eval::{eval_nc, EvalResult, Outcome};
-use crate::train::TrainHost;
-use hoiho_geodb::GeoDb;
-use hoiho_rtt::{ConsistencyPolicy, VpSet};
+use crate::evalctx::EvalContext;
 use std::collections::HashSet;
 
 /// How many top-ranked regexes participate in set building (bounds the
@@ -23,11 +21,7 @@ pub const MIN_UNIQUE_PER_REGEX: usize = 3;
 /// sorted by descending ATP. Returns all singles plus improved
 /// combinations, each with its evaluation.
 pub fn build_sets(
-    db: &GeoDb,
-    vps: &VpSet,
-    policy: &ConsistencyPolicy,
-    hosts: &[TrainHost],
-    suffix: &str,
+    ctx: &EvalContext<'_>,
     ranked: &[(GeoRegex, EvalResult)],
 ) -> Vec<(NamingConvention, EvalResult)> {
     let mut out: Vec<(NamingConvention, EvalResult)> = ranked
@@ -36,7 +30,7 @@ pub fn build_sets(
         .map(|(r, e)| {
             (
                 NamingConvention {
-                    suffix: suffix.to_string(),
+                    suffix: ctx.suffix.to_string(),
                     regexes: vec![r.clone()],
                 },
                 e.clone(),
@@ -64,7 +58,7 @@ pub fn build_sets(
             }
             let mut nc = current.0.clone();
             nc.regexes.push(cand.clone());
-            let eval = eval_nc(db, vps, policy, hosts, &nc, None);
+            let eval = eval_nc(ctx, &nc, None);
             if eval.metrics.atp() <= current.1.metrics.atp() {
                 continue;
             }
@@ -99,9 +93,11 @@ mod tests {
     use super::*;
     use crate::convention::{CaptureRole, Plan};
     use crate::eval::eval_regex;
+    use crate::train::TrainHost;
+    use hoiho_geodb::GeoDb;
     use hoiho_geotypes::{Coordinates, GeohintType, Rtt};
     use hoiho_regex::Regex;
-    use hoiho_rtt::{RouterRtts, VpId};
+    use hoiho_rtt::{ConsistencyPolicy, RouterRtts, VpId, VpSet};
     use std::sync::Arc;
 
     fn world() -> (GeoDb, VpSet) {
@@ -159,14 +155,15 @@ mod tests {
             },
         };
         let policy = ConsistencyPolicy::STRICT;
+        let ctx = EvalContext::new(&db, &vps, &policy, "example.net", &hosts);
         let ranked: Vec<(GeoRegex, EvalResult)> = [iata, city]
             .into_iter()
             .map(|r| {
-                let e = eval_regex(&db, &vps, &policy, &hosts, "example.net", &r, None);
+                let e = eval_regex(&ctx, &r, None);
                 (r, e)
             })
             .collect();
-        let sets = build_sets(&db, &vps, &policy, &hosts, "example.net", &ranked);
+        let sets = build_sets(&ctx, &ranked);
         let best = sets
             .iter()
             .max_by_key(|(_, e)| e.metrics.atp())
@@ -201,14 +198,15 @@ mod tests {
             },
         };
         let policy = ConsistencyPolicy::STRICT;
+        let ctx = EvalContext::new(&db, &vps, &policy, "example.net", &hosts);
         let ranked: Vec<(GeoRegex, EvalResult)> = [iata, city]
             .into_iter()
             .map(|r| {
-                let e = eval_regex(&db, &vps, &policy, &hosts, "example.net", &r, None);
+                let e = eval_regex(&ctx, &r, None);
                 (r, e)
             })
             .collect();
-        let sets = build_sets(&db, &vps, &policy, &hosts, "example.net", &ranked);
+        let sets = build_sets(&ctx, &ranked);
         for (nc, _) in &sets {
             assert_eq!(nc.regexes.len(), 1, "no combination should form");
         }

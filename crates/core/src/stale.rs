@@ -13,10 +13,11 @@
 //!    agree on a different, RTT-consistent location.
 
 use crate::apply::Geolocator;
+use crate::evalctx::FeasibilityCache;
 use hoiho_geodb::GeoDb;
 use hoiho_itdk::{Corpus, RouterId};
 use hoiho_psl::PublicSuffixList;
-use hoiho_rtt::{consistency::rtt_consistent, ConsistencyPolicy};
+use hoiho_rtt::ConsistencyPolicy;
 use std::collections::HashMap;
 
 /// One flagged hostname.
@@ -47,6 +48,9 @@ pub fn detect_stale(
     policy: &ConsistencyPolicy,
 ) -> Vec<StaleFinding> {
     let mut out = Vec::new();
+    // Corpus-wide feasibility cache: sibling hostnames on one router
+    // frequently resolve to the same handful of locations.
+    let feas = FeasibilityCache::new();
     for (id, router) in corpus.iter() {
         if router.rtts.is_empty() {
             continue;
@@ -55,11 +59,13 @@ pub fn detect_stale(
         let mut located: Vec<(String, hoiho_geotypes::LocationId, bool)> = Vec::new();
         for h in router.hostnames() {
             if let Some(inf) = geo.geolocate(db, psl, h) {
-                let ok = rtt_consistent(
+                let ok = feas.feasible(
+                    db,
                     &corpus.vps,
-                    &router.rtts,
-                    &db.location(inf.location).coords,
                     policy,
+                    id.0 as u64,
+                    &router.rtts,
+                    inf.location,
                 );
                 located.push((h.to_string(), inf.location, ok));
             }
@@ -89,6 +95,7 @@ pub fn detect_stale(
             }
         }
     }
+    feas.flush_obs();
     out
 }
 

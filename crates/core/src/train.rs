@@ -1,6 +1,7 @@
 //! Per-suffix training sets assembled from a corpus.
 
-use crate::apparent::{tag_prefix, Tag};
+use crate::apparent::{tag_prefix_cached, Tag};
+use crate::evalctx::FeasibilityCache;
 use hoiho_geodb::GeoDb;
 use hoiho_itdk::Corpus;
 use hoiho_psl::PublicSuffixList;
@@ -55,6 +56,10 @@ pub fn build_training_sets(
     policy: &ConsistencyPolicy,
 ) -> Vec<SuffixSet> {
     let vps: &VpSet = &corpus.vps;
+    // One corpus-wide feasibility cache, keyed by router id: every
+    // hostname of a router probes the same candidate locations against
+    // the same RTT samples.
+    let feas = FeasibilityCache::new();
     let mut by_suffix: HashMap<String, Vec<TrainHost>> = HashMap::new();
     for (id, r) in corpus.iter() {
         let rtts = Arc::new(r.rtts.clone());
@@ -66,7 +71,7 @@ pub fn build_training_sets(
                 continue;
             };
             let prefix = prefix.to_ascii_lowercase();
-            let tags = tag_prefix(db, vps, &rtts, &prefix, policy);
+            let tags = tag_prefix_cached(db, vps, &rtts, &prefix, policy, &feas, id.0 as u64);
             by_suffix.entry(suffix).or_default().push(TrainHost {
                 hostname: h.to_ascii_lowercase(),
                 prefix,
@@ -76,6 +81,7 @@ pub fn build_training_sets(
             });
         }
     }
+    feas.flush_obs();
     let mut sets: Vec<SuffixSet> = by_suffix
         .into_iter()
         .map(|(suffix, hosts)| SuffixSet { suffix, hosts })

@@ -47,20 +47,37 @@ impl ConsistencyPolicy {
     };
 }
 
-/// Whether `candidate` is feasible for a router given all of its RTT
-/// samples. A router with no samples is vacuously consistent (the paper
-/// can only tag hints on routers with constraints; callers decide how to
-/// treat the unconstrained case).
+/// The pure feasibility predicate: whether `candidate` is feasible for
+/// a router given all of its RTT samples. A router with no samples is
+/// vacuously consistent (the paper can only tag hints on routers with
+/// constraints; callers decide how to treat the unconstrained case).
+///
+/// This is a pure function of `(samples, candidate, policy)` — no
+/// observability side effects — which is what makes it safe to memoize:
+/// `hoiho`'s per-suffix `FeasibilityCache` stores one bit per
+/// `(router, location)` pair and every cache layer answers exactly what
+/// this function would.
+pub fn feasibility(
+    vps: &VpSet,
+    samples: &RouterRtts,
+    candidate: &Coordinates,
+    policy: &ConsistencyPolicy,
+) -> bool {
+    samples.samples().iter().all(|(vp, measured)| {
+        let best = best_case_rtt_ms(&vps.get(*vp).coords, candidate) * policy.bestcase_factor;
+        best <= measured.as_ms() + policy.slack_ms
+    })
+}
+
+/// [`feasibility`] plus accept/reject observability counters — the
+/// uncached entry point for code outside the memoized learn path.
 pub fn rtt_consistent(
     vps: &VpSet,
     samples: &RouterRtts,
     candidate: &Coordinates,
     policy: &ConsistencyPolicy,
 ) -> bool {
-    let ok = samples.samples().iter().all(|(vp, measured)| {
-        let best = best_case_rtt_ms(&vps.get(*vp).coords, candidate) * policy.bestcase_factor;
-        best <= measured.as_ms() + policy.slack_ms
-    });
+    let ok = feasibility(vps, samples, candidate, policy);
     // This predicate runs in the innermost learner loops, so even a
     // cached atomic add is only paid when observability is on.
     if hoiho_obs::enabled() {

@@ -84,21 +84,39 @@ pub fn detect_spoofing_vps_blind(
     max_median_ms: f64,
     min_targets: usize,
 ) -> Vec<VpId> {
-    let mut flagged = Vec::new();
-    for (vp_id, _) in vps.iter() {
-        let mut rtts: Vec<f64> = Vec::new();
-        for samples in campaigns {
-            if let Ok(i) = samples.samples().binary_search_by_key(&vp_id, |(v, _)| *v) {
-                rtts.push(samples.samples()[i].1.as_ms());
+    // One pass over the campaigns scatters every sample to its VP's
+    // bucket; the per-VP binary-search alternative touches each
+    // campaign's sample vector once per VP and is badly cache-hostile
+    // at corpus scale.
+    let mut per_vp: Vec<Vec<f64>> = vec![Vec::new(); vps.len()];
+    for samples in campaigns {
+        for (vp, rtt) in samples.samples() {
+            if let Some(bucket) = per_vp.get_mut(vp.0 as usize) {
+                bucket.push(rtt.as_ms());
             }
         }
+    }
+    let mut flagged = Vec::new();
+    for (vp_id, _) in vps.iter() {
+        let rtts = &mut per_vp[vp_id.0 as usize];
         if rtts.len() < min_targets {
             continue;
         }
-        rtts.sort_by(|a, b| a.total_cmp(b));
-        let spread = rtts[rtts.len() - 1] - rtts[0];
-        let median = rtts[rtts.len() / 2];
-        if spread <= max_spread_ms && median <= max_median_ms {
+        // Selection instead of a full sort: the spread needs only the
+        // extremes and the median is a single order statistic.
+        let mid = rtts.len() / 2;
+        let (_, &mut median, _) = rtts.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+        let mut lo = rtts[0];
+        let mut hi = rtts[0];
+        for &v in rtts.iter() {
+            if v.total_cmp(&lo).is_lt() {
+                lo = v;
+            }
+            if v.total_cmp(&hi).is_gt() {
+                hi = v;
+            }
+        }
+        if hi - lo <= max_spread_ms && median <= max_median_ms {
             flagged.push(vp_id);
         }
     }
