@@ -29,7 +29,7 @@ use hoiho_geodb::GeoDb;
 use hoiho_itdk::spec::CorpusSpec;
 use hoiho_psl::PublicSuffixList;
 use hoiho_rtt::rng::{Rng, StdRng};
-use hoiho_serve::{LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
+use hoiho_serve::{ConnLimits, LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -130,7 +130,11 @@ fn main() {
                 addr: "127.0.0.1:0".to_string(),
                 threads: args.threads,
                 queue_cap: 128,
-                read_timeout: Duration::from_secs(10),
+                limits: ConnLimits {
+                    read_timeout: Duration::from_secs(10),
+                    idle_timeout: Duration::from_secs(10),
+                    ..ConnLimits::default()
+                },
                 reload: reload.then(|| ReloadConfig {
                     path: path.clone(),
                     every: Duration::from_millis(30),

@@ -21,6 +21,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--threads",
     "--queue",
     "--read-timeout-ms",
+    "--idle-timeout-ms",
+    "--max-body-bytes",
     "--reload-ms",
     "--port-file",
 ];

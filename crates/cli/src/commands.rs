@@ -12,7 +12,7 @@ use hoiho_itdk::spec::CorpusSpec;
 use hoiho_itdk::stats::CorpusStats;
 use hoiho_psl::PublicSuffixList;
 use hoiho_rtt::ConsistencyPolicy;
-use hoiho_serve::{LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
+use hoiho_serve::{ConnLimits, LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -202,11 +202,21 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         0 => HoihoOptions::default().resolved_threads(),
         n => n,
     };
+    let defaults = ConnLimits::default();
+    let limits = ConnLimits {
+        read_timeout: Duration::from_millis(opts.num("read-timeout-ms", 5000)?.max(1)),
+        idle_timeout: Duration::from_millis(
+            opts.num("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?
+                .max(1),
+        ),
+        max_body_bytes: opts.num("max-body-bytes", defaults.max_body_bytes as u64)? as usize,
+        ..defaults
+    };
     let cfg = ServeConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:3845").to_string(),
         threads,
         queue_cap: opts.num("queue", 128)? as usize,
-        read_timeout: Duration::from_millis(opts.num("read-timeout-ms", 5000)?.max(1)),
+        limits,
         reload: (reload_ms > 0).then(|| ReloadConfig {
             path: path.into(),
             every: Duration::from_millis(reload_ms),

@@ -186,7 +186,8 @@ FLAGS:
 
 USAGE:
   hoiho serve --artifacts FILE [--addr HOST:PORT] [--threads N]
-              [--queue N] [--read-timeout-ms MS] [--reload-ms MS]
+              [--queue N] [--read-timeout-ms MS] [--idle-timeout-ms MS]
+              [--max-body-bytes N] [--reload-ms MS]
               [--port-file FILE] [--towns N] [--metrics FILE]
 
 Loads the artifact file into a suffix-sharded in-memory index and
@@ -203,13 +204,22 @@ dropping connections; a corrupt file keeps the old index serving.
 When the accept queue is full the server sheds load with an explicit
 503/overloaded response.
 
+Hostile and faulty clients are bounded: a request must complete
+within the read timeout (a byte-at-a-time writer is cut off by a
+byte-rate floor), idle keep-alive connections are reaped, and
+oversized request lines, headers, or bodies are rejected with
+explicit 400/413 responses. Every timeout/reject/shed path is a
+serve.* counter on /metrics.
+
 FLAGS:
   --artifacts FILE       learned regexes + hints to serve
   --addr HOST:PORT       bind address (default 127.0.0.1:3845; port 0
                          binds an ephemeral port)
   --threads N            worker threads (default 0 = auto-detect)
   --queue N              accept-queue depth before shedding (default 128)
-  --read-timeout-ms MS   idle-connection timeout (default 5000)
+  --read-timeout-ms MS   per-request completion deadline (default 5000)
+  --idle-timeout-ms MS   reap a silent keep-alive connection (default 30000)
+  --max-body-bytes N     reject HTTP bodies larger than N (default 1048576)
   --reload-ms MS         artifact poll period; 0 disables (default 1000)
   --port-file FILE       write the bound port here once listening
   --towns N              match the --towns used at learn time

@@ -24,6 +24,12 @@
 //! - [`Server`] — `TcpListener` + fixed worker pool + bounded accept
 //!   queue. Overload sheds with an explicit `503 overloaded` response
 //!   instead of stalling; shutdown drains gracefully.
+//! - [`ConnLimits`] — the per-connection robustness policy: idle
+//!   reaping, per-request completion deadlines, a slow-client
+//!   byte-rate floor, line/header/body size caps, and a request
+//!   budget. A hostile or faulty peer always resolves by serve,
+//!   reject, or timeout — never by pinning a worker forever — and
+//!   every such path is a `serve.*` counter in `/metrics`.
 //!
 //! Both wire protocols are defined in [`proto`]: a line-delimited JSON
 //! protocol for `printf | nc`-style and persistent-connection clients,
@@ -48,8 +54,10 @@
 //! ```
 
 mod index;
+mod limits;
 pub mod proto;
 mod server;
 
 pub use index::{LookupIndex, SharedIndex};
+pub use limits::{ConnLimits, ConnReader, ReadOutcome};
 pub use server::{ReloadConfig, ServeConfig, Server};

@@ -285,6 +285,26 @@ pub fn looks_like_http(line: &str) -> bool {
         && f.next().is_some_and(|v| v.starts_with("HTTP/"))
 }
 
+/// Whether a *partial* first line (e.g. the sniffable prefix of an
+/// oversized request) already reads as HTTP: a known method token
+/// followed by a space. Used to pick the error dialect when the full
+/// line never arrived.
+pub fn looks_like_http_prefix(partial: &str) -> bool {
+    ["GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS "]
+        .iter()
+        .any(|m| partial.starts_with(m))
+}
+
+/// A full HTTP error response whose body is the line-protocol error
+/// object — the rejection vocabulary both client families understand.
+pub fn error_response(status: &str, msg: &str) -> Vec<u8> {
+    http_response(
+        status,
+        "application/json",
+        &format!("{}\n", render_error(msg)),
+    )
+}
+
 /// Parse a request line; [`looks_like_http`] must have accepted it.
 pub fn parse_http_request(line: &str) -> HttpRequest {
     let mut f = line.split(' ');
@@ -432,6 +452,60 @@ mod tests {
         assert_eq!(query_param(&r.query, "x").as_deref(), Some("1"));
         assert_eq!(query_param(&r.query, "nope"), None);
         assert_eq!(query_param("h=a%2Eb+c", "h").as_deref(), Some("a.b c"));
+    }
+
+    #[test]
+    fn truncated_request_lines_parse_as_malformed_not_panic() {
+        // Prefixes of every valid request shape: the parser must return
+        // Malformed (or a bare-hostname Lookup) without panicking.
+        for full in [
+            r#"{"lookup":"r1.lhr.gtt.net"}"#,
+            r#"{"batch":["a.gtt.net","b.gtt.net"]}"#,
+            r#"{"cmd":"shutdown"}"#,
+            "GET /lookup?h=x HTTP/1.1",
+        ] {
+            for cut in 1..full.len() {
+                let _ = parse_request(&full[..cut]);
+            }
+        }
+        assert!(matches!(
+            parse_request(r#"{"batch":["a.gtt.net""#),
+            Request::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shut"#),
+            Request::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn http_prefix_sniffing_on_partial_lines() {
+        assert!(looks_like_http_prefix("GET /a-very-long-path-that-was-cut"));
+        assert!(looks_like_http_prefix("POST /batch HTTP"));
+        assert!(!looks_like_http_prefix("GETTY sburg"));
+        assert!(!looks_like_http_prefix(r#"{"lookup":"GET "#));
+        assert!(!looks_like_http_prefix("r1.lhr.gtt.net"));
+        // A truncated request line is NOT full HTTP — the sniffer for
+        // complete lines must still reject it.
+        assert!(!looks_like_http("GET /lookup?h=x"));
+    }
+
+    #[test]
+    fn error_response_is_well_formed() {
+        let r = error_response("413 Payload Too Large", "body exceeds limit");
+        let text = std::str::from_utf8(&r).unwrap();
+        assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert_eq!(body, "{\"error\":\"body exceeds limit\"}\n");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        assert!(head.contains("Connection: close"));
     }
 
     #[test]

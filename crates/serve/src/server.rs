@@ -8,13 +8,31 @@
 //!   [`SHED_RESPONSE`](crate::proto::SHED_RESPONSE) and closes. It
 //!   never parses requests, so overload cannot stall the listener.
 //! - **N workers** — pop connections, speak either protocol until the
-//!   peer closes, the per-connection read timeout fires, or a drain
-//!   begins. One lowercase scratch buffer per worker keeps the lookup
-//!   path allocation-free.
+//!   peer closes, a limit fires, or a drain begins. One lowercase
+//!   scratch buffer per worker keeps the lookup path allocation-free.
 //! - **watcher** (optional) — polls the artifact file's `(mtime, len)`;
 //!   on change parses off to the side and epoch-swaps the shared index.
 //!   A corrupt file increments `serve.reload.err` and keeps the old
 //!   index serving.
+//!
+//! ## Robustness
+//!
+//! Every connection is read through [`ConnReader`] under
+//! [`ConnLimits`]: idle reaping, per-request completion deadlines, a
+//! slow-client byte-rate floor, and caps on line/header/body sizes. A
+//! hostile peer therefore always resolves — served, rejected with an
+//! explicit response (`400`/`408`/`413`), or cut by a deadline — and
+//! every such path lands in one counter family:
+//!
+//! - `serve.timeout.read` / `serve.timeout.write` — deadlines fired
+//! - `serve.conn.reaped` — idle keep-alive connections closed
+//! - `serve.conn.budget` — per-connection request budget exhausted
+//! - `serve.reject.oversize` / `.truncated` / `.slow` / `.malformed`
+//! - `serve.shed.queue_full` / `serve.shed.draining` — refused before
+//!   a worker ever saw the stream
+//!
+//! All counters are pre-registered at [`Server::start`], so `/metrics`
+//! accounts for every refused byte stream even when the count is 0.
 //!
 //! Shutdown (`{"cmd":"shutdown"}`, `POST /shutdown`, or
 //! [`Server::shutdown`]) is a drain: the accept thread stops accepting
@@ -23,9 +41,10 @@
 //! everything.
 
 use crate::index::{LookupIndex, SharedIndex};
+use crate::limits::{ConnLimits, ConnReader, ReadOutcome};
 use crate::proto::{self, Request};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,8 +70,9 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Bounded accept-queue depth; connections beyond it are shed.
     pub queue_cap: usize,
-    /// Per-connection read timeout (idle connections are closed).
-    pub read_timeout: Duration,
+    /// Per-connection robustness limits (deadlines, size caps, request
+    /// budget, byte-rate floor).
+    pub limits: ConnLimits,
     /// Artifact hot-reload, if any.
     pub reload: Option<ReloadConfig>,
 }
@@ -63,11 +83,34 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
             queue_cap: 128,
-            read_timeout: Duration::from_secs(5),
+            limits: ConnLimits::default(),
             reload: None,
         }
     }
 }
+
+/// Counter families pre-registered at startup so `/metrics` exposes the
+/// full vocabulary from the first scrape, zeros included.
+const COUNTERS: &[&str] = &[
+    "serve.conn.accepted",
+    "serve.conn.reaped",
+    "serve.conn.budget",
+    "serve.timeout.read",
+    "serve.timeout.write",
+    "serve.reject.oversize",
+    "serve.reject.truncated",
+    "serve.reject.slow",
+    "serve.reject.malformed",
+    "serve.shed.queue_full",
+    "serve.shed.draining",
+    "serve.reload.ok",
+    "serve.reload.err",
+    "serve.requests",
+    "serve.requests.batch",
+    "serve.requests.http",
+    "serve.lookups",
+    "serve.hits",
+];
 
 struct Shared {
     index: Arc<SharedIndex>,
@@ -75,7 +118,7 @@ struct Shared {
     queue_cap: usize,
     cv: Condvar,
     shutdown: AtomicBool,
-    read_timeout: Duration,
+    limits: ConnLimits,
     local_addr: SocketAddr,
 }
 
@@ -107,13 +150,16 @@ impl Server {
     pub fn start(index: Arc<SharedIndex>, cfg: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        for name in COUNTERS {
+            let _ = hoiho_obs::global().counter(name);
+        }
         let shared = Arc::new(Shared {
             index,
             queue: Mutex::new(VecDeque::new()),
             queue_cap: cfg.queue_cap.max(1),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            read_timeout: cfg.read_timeout,
+            limits: cfg.limits.clone(),
             local_addr,
         });
         let mut threads = Vec::with_capacity(cfg.threads + 2);
@@ -192,6 +238,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
         if shared.draining() {
             // The wake-up self-connection (or a late client) during
             // drain: refuse politely.
+            hoiho_obs::counter!("serve.shed.draining").inc();
             shed(stream);
             return;
         }
@@ -199,7 +246,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
         let mut queue = shared.queue.lock().expect("queue poisoned");
         if queue.len() >= shared.queue_cap {
             drop(queue);
-            hoiho_obs::counter!("serve.conn.shed").inc();
+            hoiho_obs::counter!("serve.shed.queue_full").inc();
             shed(stream);
             continue;
         }
@@ -243,42 +290,96 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Whether a write error means the send deadline fired (as opposed to a
+/// peer reset).
+fn write_timed_out(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Send `bytes`, counting a fired write deadline.
+fn send(out: &mut TcpStream, bytes: &[u8]) -> bool {
+    match out.write_all(bytes).and_then(|()| out.flush()) {
+        Ok(()) => true,
+        Err(e) => {
+            if write_timed_out(&e) {
+                hoiho_obs::counter!("serve.timeout.write").inc();
+            }
+            false
+        }
+    }
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut String) {
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let limits = &shared.limits;
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = ConnReader::new(read_half);
     let mut write_half = stream;
-    let mut first = String::new();
-    if reader.read_line(&mut first).unwrap_or(0) == 0 {
-        return;
-    }
-    if proto::looks_like_http(first.trim_end()) {
-        handle_http(
-            shared,
-            first.trim_end(),
-            &mut reader,
-            &mut write_half,
-            scratch,
-        );
-        return;
-    }
-    // Line protocol: first line is already a request; keep answering
-    // until EOF, timeout, error, or drain.
-    let mut line = first;
+    let mut line = String::new();
+    let mut served: u64 = 0;
     loop {
+        line.clear();
+        match reader.read_line(&mut line, limits, None) {
+            ReadOutcome::Complete => {}
+            ReadOutcome::Eof => return,
+            ReadOutcome::Idle => {
+                hoiho_obs::counter!("serve.conn.reaped").inc();
+                return;
+            }
+            ReadOutcome::TimedOut => {
+                hoiho_obs::counter!("serve.timeout.read").inc();
+                return;
+            }
+            ReadOutcome::TooSlow => {
+                hoiho_obs::counter!("serve.reject.slow").inc();
+                return;
+            }
+            ReadOutcome::TooLarge => {
+                hoiho_obs::counter!("serve.reject.oversize").inc();
+                // The prefix tells us which protocol's error to speak.
+                let resp = if proto::looks_like_http_prefix(&line) {
+                    proto::error_response("400 Bad Request", "request line too long")
+                } else {
+                    format!("{}\n", proto::render_error("request too large")).into_bytes()
+                };
+                let _ = send(&mut write_half, &resp);
+                return;
+            }
+            ReadOutcome::Truncated => {
+                hoiho_obs::counter!("serve.reject.truncated").inc();
+                return;
+            }
+            ReadOutcome::Failed => return,
+        }
+        if served == 0 && proto::looks_like_http(line.trim_end()) {
+            handle_http(
+                shared,
+                line.trim_end().to_string(),
+                &mut reader,
+                &mut write_half,
+                scratch,
+            );
+            return;
+        }
+        // Line protocol: keep answering until EOF, a limit fires, or a
+        // drain begins.
         let response = respond_line(shared, line.trim_end(), scratch);
+        served += 1;
         let draining = shared.draining();
-        if write_half.write_all(response.as_bytes()).is_err() {
+        if !send(&mut write_half, response.as_bytes()) {
             return;
         }
         if draining {
             return;
         }
-        line.clear();
-        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        if served >= limits.max_requests {
+            hoiho_obs::counter!("serve.conn.budget").inc();
             return;
         }
     }
@@ -332,7 +433,7 @@ fn respond_line(shared: &Shared, line: &str, scratch: &mut String) -> String {
             shared.begin_shutdown();
         }
         Request::Malformed(msg) => {
-            hoiho_obs::counter!("serve.malformed").inc();
+            hoiho_obs::counter!("serve.reject.malformed").inc();
             out.push_str(&proto::render_error(&msg));
         }
     }
@@ -341,22 +442,63 @@ fn respond_line(shared: &Shared, line: &str, scratch: &mut String) -> String {
     out
 }
 
+/// Serve one HTTP-lite request (`Connection: close`). One *hard*
+/// deadline covers request line, headers, and body, so a peer trickling
+/// header lines cannot reset the clock.
 fn handle_http(
     shared: &Shared,
-    request_line: &str,
-    reader: &mut BufReader<TcpStream>,
+    request_line: String,
+    reader: &mut ConnReader,
     out: &mut TcpStream,
     scratch: &mut String,
 ) {
     let start = Instant::now();
+    let limits = &shared.limits;
+    let hard = start + limits.read_timeout;
     hoiho_obs::counter!("serve.requests.http").inc();
-    let req = proto::parse_http_request(request_line);
-    // Headers: only Content-Length matters.
-    let mut content_length = 0usize;
+    let req = proto::parse_http_request(&request_line);
+    // Headers: only Content-Length matters, but every line is bounded
+    // and the block as a whole is capped.
+    let mut content_length: usize = 0;
+    let mut header_bytes = 0usize;
     let mut header = String::new();
     loop {
         header.clear();
-        if reader.read_line(&mut header).unwrap_or(0) == 0 {
+        match reader.read_line(&mut header, limits, Some(hard)) {
+            ReadOutcome::Complete => {}
+            ReadOutcome::Idle | ReadOutcome::TimedOut => {
+                hoiho_obs::counter!("serve.timeout.read").inc();
+                let _ = send(
+                    out,
+                    &proto::error_response("408 Request Timeout", "request timed out"),
+                );
+                return;
+            }
+            ReadOutcome::TooSlow => {
+                hoiho_obs::counter!("serve.reject.slow").inc();
+                return;
+            }
+            ReadOutcome::TooLarge => {
+                hoiho_obs::counter!("serve.reject.oversize").inc();
+                let _ = send(
+                    out,
+                    &proto::error_response("400 Bad Request", "header line too long"),
+                );
+                return;
+            }
+            ReadOutcome::Eof | ReadOutcome::Truncated => {
+                hoiho_obs::counter!("serve.reject.truncated").inc();
+                return;
+            }
+            ReadOutcome::Failed => return,
+        }
+        header_bytes += header.len();
+        if header_bytes > limits.max_header_bytes {
+            hoiho_obs::counter!("serve.reject.oversize").inc();
+            let _ = send(
+                out,
+                &proto::error_response("400 Bad Request", "header block too large"),
+            );
             return;
         }
         let h = header.trim_end();
@@ -368,7 +510,17 @@ fn handle_http(
             .strip_prefix("content-length:")
             .map(str::trim)
         {
-            content_length = v.parse().unwrap_or(0);
+            match v.parse() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    hoiho_obs::counter!("serve.reject.malformed").inc();
+                    let _ = send(
+                        out,
+                        &proto::error_response("400 Bad Request", "bad content-length"),
+                    );
+                    return;
+                }
+            }
         }
     }
     let response = match (req.method.as_str(), req.path.as_str()) {
@@ -386,16 +538,37 @@ fn handle_http(
                 body.push('\n');
                 proto::http_response("200 OK", "application/json", &body)
             }
-            None => proto::http_response(
-                "400 Bad Request",
-                "application/json",
-                &format!("{}\n", proto::render_error("missing h parameter")),
-            ),
+            None => proto::error_response("400 Bad Request", "missing h parameter"),
         },
         ("POST", "/batch") => {
-            let mut body = vec![0u8; content_length.min(1 << 20)];
-            if reader.read_exact(&mut body).is_err() {
+            if content_length > limits.max_body_bytes {
+                hoiho_obs::counter!("serve.reject.oversize").inc();
+                let _ = send(
+                    out,
+                    &proto::error_response("413 Payload Too Large", "body exceeds limit"),
+                );
                 return;
+            }
+            let mut body = Vec::with_capacity(content_length);
+            match reader.read_body(&mut body, content_length, limits, Some(hard)) {
+                ReadOutcome::Complete => {}
+                ReadOutcome::TimedOut | ReadOutcome::Idle => {
+                    hoiho_obs::counter!("serve.timeout.read").inc();
+                    let _ = send(
+                        out,
+                        &proto::error_response("408 Request Timeout", "body timed out"),
+                    );
+                    return;
+                }
+                ReadOutcome::TooSlow => {
+                    hoiho_obs::counter!("serve.reject.slow").inc();
+                    return;
+                }
+                // Content-Length promised more than the peer delivered.
+                _ => {
+                    hoiho_obs::counter!("serve.reject.truncated").inc();
+                    return;
+                }
             }
             let body = String::from_utf8_lossy(&body);
             let hosts: Vec<&str> = body
@@ -445,20 +618,14 @@ fn handle_http(
         ("POST", "/shutdown") => {
             let body = "{\"ok\":true,\"draining\":true}\n";
             let r = proto::http_response("200 OK", "application/json", body);
-            let _ = out.write_all(&r);
-            let _ = out.flush();
+            let _ = send(out, &r);
             shared.begin_shutdown();
             hoiho_obs::global().record("serve.request_us", start.elapsed().as_micros() as u64);
             return;
         }
-        _ => proto::http_response(
-            "404 Not Found",
-            "application/json",
-            &format!("{}\n", proto::render_error("not found")),
-        ),
+        _ => proto::error_response("404 Not Found", "not found"),
     };
-    let _ = out.write_all(&response);
-    let _ = out.flush();
+    let _ = send(out, &response);
     hoiho_obs::global().record("serve.request_us", start.elapsed().as_micros() as u64);
 }
 
@@ -516,5 +683,190 @@ fn watcher_loop(shared: &Shared, cfg: &ReloadConfig) {
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoiho_geodb::GeoDb;
+    use hoiho_psl::PublicSuffixList;
+    use std::io::{BufRead, BufReader, Read};
+
+    fn test_index() -> LookupIndex {
+        let db = Arc::new(GeoDb::builtin());
+        let psl = Arc::new(PublicSuffixList::builtin());
+        let text = "hoiho-artifacts-v1\n\
+                    suffix gtt.net good\n\
+                    regex iata ^.+\\.([a-z]{3})\\d+\\.gtt\\.net$\n";
+        LookupIndex::from_artifacts(db, psl, text).expect("parse")
+    }
+
+    fn boot(limits: ConnLimits) -> Server {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            queue_cap: 16,
+            limits,
+            reload: None,
+        };
+        Server::start(Arc::new(SharedIndex::new(test_index())), &cfg).expect("start")
+    }
+
+    fn tight() -> ConnLimits {
+        ConnLimits {
+            read_timeout: Duration::from_millis(300),
+            idle_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(300),
+            max_line_bytes: 256,
+            max_header_bytes: 512,
+            max_body_bytes: 1024,
+            max_requests: 3,
+            min_bytes_per_sec: 0,
+        }
+    }
+
+    fn connect(server: &Server) -> TcpStream {
+        let s = TcpStream::connect(server.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("rt");
+        s
+    }
+
+    /// Read to EOF, returning everything the server sent.
+    fn slurp(s: &mut TcpStream) -> String {
+        let mut out = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn truncated_request_line_closes_without_response() {
+        let server = boot(tight());
+        let mut s = connect(&server);
+        s.write_all(b"GET /look").expect("write");
+        // Half-close: the server sees EOF mid-line and must drop the
+        // connection (no partial parse, no hang).
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        assert_eq!(slurp(&mut s), "");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected_with_400() {
+        let server = boot(tight());
+        let mut s = connect(&server);
+        s.write_all(b"GET /healthz HTTP/1.1\r\n").expect("write");
+        // Individually-small header lines whose sum blows the block cap.
+        for i in 0..16 {
+            s.write_all(format!("X-Pad-{i}: {}\r\n", "y".repeat(60)).as_bytes())
+                .expect("write");
+        }
+        let resp = slurp(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("header block too large"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_with_413() {
+        let server = boot(tight());
+        let mut s = connect(&server);
+        s.write_all(b"POST /batch HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+            .expect("write");
+        let resp = slurp(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_mismatch_closes_without_a_200() {
+        let server = boot(tight());
+        let mut s = connect(&server);
+        // Promise 100 bytes, deliver 9, half-close.
+        s.write_all(b"POST /batch HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort.net")
+            .expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+        let resp = slurp(&mut s);
+        assert!(!resp.contains("200 OK"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_line_requests_each_get_a_response() {
+        let server = boot(ConnLimits {
+            max_requests: 10,
+            ..tight()
+        });
+        let mut s = connect(&server);
+        s.write_all(b"ae1.lhr2.gtt.net\n{\"cmd\":\"ping\"}\nae9.par1.gtt.net\n")
+            .expect("write");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut lines = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+            lines.push(line);
+        }
+        assert!(lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"epoch\":1"), "{}", lines[1]);
+        assert!(
+            lines[2].contains("\"host\":\"ae9.par1.gtt.net\""),
+            "{}",
+            lines[2]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_budget_closes_the_connection_after_max_requests() {
+        let server = boot(tight()); // max_requests: 3
+        let mut s = connect(&server);
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        for _ in 0..3 {
+            s.write_all(b"ae1.lhr2.gtt.net\n").expect("write");
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0);
+        }
+        // Fourth request: the budget has closed the stream.
+        let _ = s.write_all(b"ae1.lhr2.gtt.net\n");
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0, "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_is_reaped() {
+        let server = boot(tight()); // idle_timeout: 200ms
+        let mut s = connect(&server);
+        let started = Instant::now();
+        assert_eq!(slurp(&mut s), "", "reap closes silently");
+        assert!(started.elapsed() < Duration::from_secs(3));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_gets_a_protocol_appropriate_error() {
+        let server = boot(tight()); // max_line_bytes: 256
+                                    // Line protocol: JSON error object.
+        let mut s = connect(&server);
+        s.write_all("x".repeat(400).as_bytes()).expect("write");
+        s.write_all(b"\n").expect("write");
+        let resp = slurp(&mut s);
+        assert!(resp.contains("request too large"), "{resp}");
+        // HTTP: a 400 status line.
+        let mut s = connect(&server);
+        s.write_all(format!("GET /{} HTTP/1.1\r\n", "y".repeat(400)).as_bytes())
+            .expect("write");
+        let resp = slurp(&mut s);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.shutdown();
     }
 }

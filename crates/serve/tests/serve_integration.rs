@@ -4,7 +4,7 @@
 
 use hoiho_geodb::GeoDb;
 use hoiho_psl::PublicSuffixList;
-use hoiho_serve::{LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
+use hoiho_serve::{ConnLimits, LookupIndex, ReloadConfig, ServeConfig, Server, SharedIndex};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -150,7 +150,10 @@ fn overload_sheds_with_503() {
     let cfg = ServeConfig {
         threads: 1,
         queue_cap: 1,
-        read_timeout: Duration::from_secs(2),
+        limits: ConnLimits {
+            idle_timeout: Duration::from_secs(2),
+            ..ConnLimits::default()
+        },
         ..ServeConfig::default()
     };
     let server = start(&cfg, &["gtt.net"]);
@@ -229,7 +232,10 @@ fn hot_reload_swaps_epoch_and_survives_corruption() {
 #[test]
 fn protocol_shutdown_drains_gracefully() {
     let cfg = ServeConfig {
-        read_timeout: Duration::from_secs(1),
+        limits: ConnLimits {
+            read_timeout: Duration::from_secs(1),
+            ..ConnLimits::default()
+        },
         ..ServeConfig::default()
     };
     let server = start(&cfg, &["gtt.net"]);
